@@ -1,0 +1,34 @@
+"""§5.3's full-flattening ablation: "we modified the heuristics used by MF
+to always fully exploit parallelism ... the resulting programs are
+typically slower within a factor 2 of untuned incremental flattening"."""
+
+from conftest import emit
+from repro.bench.runner import fullflat_rows
+from repro.gpu import K40, VEGA64
+
+
+def _render(rows_by_dev):
+    lines = [
+        "Full-flattening ablation — runtime ratio FF / untuned-IF",
+        f"{'benchmark':>14} {'ds':>3} | " + " ".join(f"{d:>8}" for d in rows_by_dev),
+    ]
+    keys = [(b, ds) for b, ds, _ in next(iter(rows_by_dev.values()))]
+    tables = {
+        d: {(b, ds): r for b, ds, r in rows} for d, rows in rows_by_dev.items()
+    }
+    for b, ds in keys:
+        vals = " ".join(f"{tables[d][(b, ds)]:>8.2f}" for d in rows_by_dev)
+        lines.append(f"{b:>14} {ds:>3} | {vals}")
+    return "\n".join(lines) + "\n"
+
+
+def test_fullflat_ablation(benchmark):
+    def run():
+        return {d.name: fullflat_rows(d) for d in (K40, VEGA64)}
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_fullflat", _render(rows))
+    for dev, table in rows.items():
+        ratios = [r for _, _, r in table]
+        # typically (more than half the cases) within ~2x
+        assert sum(1 for r in ratios if r <= 2.5) >= len(ratios) * 0.5

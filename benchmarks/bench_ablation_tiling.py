@@ -1,0 +1,56 @@
+"""Ablation: block tiling of sequentialised redomaps.
+
+The paper's §3.2 notes that sequentialising inner parallelism "permits
+further optimisation of locality (e.g., by block tiling)" — without the
+tiler, the sequentialised versions lose most of their advantage.  This
+bench quantifies that interaction on matmul and LavaMD: the same moderate
+code simulated with and without the tiling analysis.
+"""
+
+from conftest import emit
+from repro.bench.programs.lavamd import lavamd_program, lavamd_sizes
+from repro.bench.programs.matmul import matmul_program, matmul_sizes
+from repro.compiler import compile_program
+from repro.gpu import K40
+
+
+def _rows():
+    out = []
+    mm = compile_program(matmul_program(), "moderate")
+    for e in (6, 8, 10):
+        s = matmul_sizes(e, 25)
+        with_t = mm.simulate(s, K40, enable_tiling=True)
+        without = mm.simulate(s, K40, enable_tiling=False)
+        out.append((f"matmul e={e}", with_t, without))
+    lv = compile_program(lavamd_program(), "moderate")
+    for ds in ("D1", "D2"):
+        s = lavamd_sizes(ds)
+        with_t = lv.simulate(s, K40, enable_tiling=True)
+        without = lv.simulate(s, K40, enable_tiling=False)
+        out.append((f"LavaMD {ds}", with_t, without))
+    return out
+
+
+def _render(rows):
+    lines = [
+        "Tiling ablation — moderate flattening with/without block tiling (K40)",
+        f"{'case':>12} | {'tiled(ms)':>10} {'untiled(ms)':>12} "
+        f"{'speedup':>8} {'traffic /':>10}",
+    ]
+    for name, w, wo in rows:
+        lines.append(
+            f"{name:>12} | {w.time*1e3:>10.4f} {wo.time*1e3:>12.4f} "
+            f"{wo.time/w.time:>8.2f} {wo.total_gbytes/max(w.total_gbytes,1):>10.2f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_tiling_ablation(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    emit("ablation_tiling", _render(rows))
+    for name, w, wo in rows:
+        assert w.time <= wo.time * 1.0001, name
+        assert w.total_gbytes <= wo.total_gbytes
+    # matmul's large shapes depend on tiling for their advantage
+    big = [r for r in rows if r[0] == "matmul e=10"][0]
+    assert big[2].time / big[1].time > 2

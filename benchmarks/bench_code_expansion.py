@@ -1,0 +1,40 @@
+"""§5.1's compilation-cost claims: "On average, IF takes 4x longer to
+compile and generates 3x larger binaries than MF" (abstract: code-size
+expansion "as high as four times")."""
+
+from conftest import emit
+from repro.bench.runner import code_expansion_rows
+
+
+def _render(rows):
+    lines = [
+        "Code expansion — incremental vs moderate flattening",
+        f"{'benchmark':>14} | {'compile x':>10} {'AST x':>7} "
+        f"{'genLOC x':>9} {'IF kernels':>11}",
+    ]
+    for name, tr, sr, lr, nk in rows:
+        lines.append(
+            f"{name:>14} | {tr:>10.2f} {sr:>7.2f} {lr:>9.2f} {nk:>11}"
+        )
+    n = len(rows)
+    lines.append(
+        f"{'average':>14} | {sum(r[1] for r in rows)/n:>10.2f} "
+        f"{sum(r[2] for r in rows)/n:>7.2f} "
+        f"{sum(r[3] for r in rows)/n:>9.2f}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def test_code_expansion(benchmark):
+    rows = benchmark.pedantic(code_expansion_rows, rounds=1, iterations=1)
+    emit("code_expansion", _render(rows))
+    size_ratios = [r[2] for r in rows]
+    avg = sum(size_ratios) / len(size_ratios)
+    assert 1.5 <= avg <= 8  # the paper's ~3x, loosely
+    # generated pseudo-OpenCL LOC is the closest binary-size analogue:
+    # the paper reports ~3x, "as high as four times"
+    loc_ratios = [r[3] for r in rows]
+    avg_loc = sum(loc_ratios) / len(loc_ratios)
+    assert 1.5 <= avg_loc <= 6
+    time_ratios = [r[1] for r in rows]
+    assert sum(time_ratios) / len(time_ratios) > 1  # IF compiles slower

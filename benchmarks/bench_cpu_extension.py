@@ -1,0 +1,64 @@
+"""Extension: the multicore-with-SIMD target the paper names as future work.
+
+§3.2: "we believe they at least set a solid foundation for approaching
+other types of heterogeneous hardware, such as multicores with SIMD
+support".  Same programs, same flattening, same tuner — only the DeviceSpec
+changes.  The observable: tuned thresholds collapse to tiny values because
+tens of threads already saturate a CPU, so the sequentialising versions win
+almost everywhere; and the Fig. 2 curve loses the deep degenerate-shape
+cliff that the GPUs show.
+"""
+
+from conftest import emit
+from repro.bench.programs.matmul import matmul_program, matmul_sizes
+from repro.compiler import compile_program
+from repro.gpu import CPU16, K40
+from repro.tuning import exhaustive_tune
+
+
+def _rows():
+    cp = compile_program(matmul_program(), "incremental")
+    mf = compile_program(matmul_program(), "moderate")
+    train = [matmul_sizes(e, 20) for e in range(11)]
+    out = {}
+    for dev in (K40, CPU16):
+        th = exhaustive_tune(cp, train, dev).best_thresholds
+        sweep = []
+        for e in range(11):
+            s = matmul_sizes(e, 20)
+            sweep.append(
+                (
+                    e,
+                    mf.simulate(s, dev).time,
+                    cp.simulate(s, dev, thresholds=th).time,
+                )
+            )
+        out[dev.name] = (th, sweep)
+    return out
+
+
+def _render(rows):
+    lines = ["CPU extension — matmul k=20, tuned per device"]
+    for dev, (th, sweep) in rows.items():
+        lines.append(f"\n{dev}: tuned thresholds {th}")
+        lines.append(f"{'e':>3} {'MF(ms)':>10} {'AIF(ms)':>10} {'speedup':>8}")
+        for e, t_mf, t_aif in sweep:
+            lines.append(
+                f"{e:>3} {t_mf*1e3:>10.4f} {t_aif*1e3:>10.4f} "
+                f"{t_mf/t_aif:>8.2f}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def test_cpu_extension(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    emit("cpu_extension", _render(rows))
+    th_k40, sweep_k40 = rows["K40"]
+    th_cpu, sweep_cpu = rows["CPU16"]
+    # tuning still always helps (or matches) on the CPU
+    for e, t_mf, t_aif in sweep_cpu:
+        assert t_aif <= t_mf * 1.0001
+    # degenerate-shape cliff is far shallower on the CPU than on the GPU
+    cliff_k40 = sweep_k40[0][1] / sweep_k40[0][2]
+    cliff_cpu = sweep_cpu[0][1] / sweep_cpu[0][2]
+    assert cliff_k40 > cliff_cpu

@@ -1,0 +1,42 @@
+"""Figure 7: LocVolCalib speedups over moderate flattening on both devices,
+with the FinPar hand-written references."""
+
+from conftest import emit
+from repro.bench.plotting import bar_chart
+from repro.bench.runner import fig7_rows
+
+
+def _render(rows):
+    lines = [
+        "Figure 7 — LocVolCalib speedup vs moderate flattening "
+        "(higher is better)",
+        f"{'device':>8} {'dataset':>8} {'MF(ms)':>10} | "
+        f"{'IF':>6} {'AIF':>6} {'FinPar-Out':>11} {'FinPar-All':>11}",
+    ]
+    for r in rows:
+        sp = r.speedups()
+        lines.append(
+            f"{r.device:>8} {r.dataset:>8} {r.moderate*1e3:>10.3f} | "
+            f"{sp['IF']:>6.2f} {sp['AIF']:>6.2f} "
+            f"{sp['FinPar-Out']:>11.2f} {sp['FinPar-All']:>11.2f}"
+        )
+    bars = []
+    for r in rows:
+        sp = r.speedups()
+        for k_ in ("IF", "AIF", "FinPar-Out", "FinPar-All"):
+            bars.append((f"{r.device}/{r.dataset}/{k_}", sp[k_]))
+    chart = bar_chart(bars, title="speedup vs MF (| marks 1.0)")
+    return "\n".join(lines) + "\n\n" + chart
+
+
+def test_fig7_locvolcalib(benchmark):
+    rows = benchmark.pedantic(fig7_rows, rounds=1, iterations=1)
+    emit("fig7_locvolcalib", _render(rows))
+    # §5.2's headline claims
+    for r in rows:
+        assert r.speedups()["AIF"] > 1  # AIF beats MF on every dataset
+    k40 = {r.dataset: r for r in rows if r.device == "K40"}
+    vega = {r.dataset: r for r in rows if r.device == "Vega64"}
+    # the performance-portability flip on the large dataset
+    assert k40["large"].finpar_out < k40["large"].finpar_all
+    assert vega["large"].finpar_all < vega["large"].finpar_out

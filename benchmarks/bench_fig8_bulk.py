@@ -1,0 +1,33 @@
+"""Figure 8 + Table 1: the bulk validation — eight benchmarks, two datasets
+each (Table 1), two devices, bars IF / AIF / hand-written reference with
+moderate flattening as the baseline."""
+
+from conftest import emit
+from repro.bench.runner import fig8_rows
+
+
+def _render(rows):
+    lines = [
+        "Figure 8 — bulk speedup vs moderate flattening (Table 1 datasets)",
+        f"{'device':>8} {'benchmark':>14} {'ds':>3} "
+        f"{'dataset (Table 1)':>22} {'MF(ms)':>11} | "
+        f"{'IF':>8} {'AIF':>8} {'Ref':>8}",
+    ]
+    for r in rows:
+        sp = r.speedups()
+        ref = f"{sp['Reference']:>8.2f}" if "Reference" in sp else f"{'-':>8}"
+        lines.append(
+            f"{r.device:>8} {r.benchmark:>14} {r.dataset:>3} "
+            f"{r.description:>22} {r.moderate*1e3:>11.3f} | "
+            f"{sp['IF']:>8.2f} {sp['AIF']:>8.2f} {ref}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig8_bulk(benchmark):
+    rows = benchmark.pedantic(fig8_rows, rounds=1, iterations=1)
+    emit("fig8_bulk", _render(rows))
+    assert len(rows) == 8 * 2 * 2
+    for r in rows:
+        # autotuned incremental flattening never loses to the baseline
+        assert r.tuned <= r.moderate * 1.01, f"{r.benchmark}/{r.dataset}"

@@ -1,0 +1,62 @@
+"""Ablation: threshold sensitivity and the plateau structure of the search
+space.
+
+§4.2 observes that "the search space for an incrementally flattened program
+is highly repetitive: different parameter settings may result in the same
+dynamic behavior for a dataset".  This bench sweeps one threshold of the
+LocVolCalib program across its whole range on a fixed dataset and records
+the runtime at every power of two: the result is a staircase with very few
+distinct levels — exactly why the duplicate-path cache pays off.
+"""
+
+from conftest import emit
+from repro.bench.programs.locvolcalib import locvolcalib_program, locvolcalib_sizes
+from repro.compiler import compile_program
+from repro.gpu import K40
+from repro.tuning import path_signature
+
+
+def _sweep():
+    cp = compile_program(locvolcalib_program(), "incremental")
+    sizes = locvolcalib_sizes("medium")
+    base = {t: 2**15 for t in cp.thresholds()}
+    out = {}
+    for name in cp.thresholds()[:4]:
+        points = []
+        for exp in range(0, 31, 2):
+            th = dict(base, **{name: 2**exp})
+            sig = path_signature(cp.body, sizes, th, device=K40)
+            t = cp.simulate(sizes, K40, thresholds=th).time
+            points.append((exp, t, sig))
+        out[name] = points
+    return out
+
+
+def _render(sweeps):
+    lines = [
+        "Threshold sensitivity — LocVolCalib medium, K40 "
+        "(runtime vs one threshold, others at 2^15)",
+    ]
+    for name, points in sweeps.items():
+        distinct_sigs = len({sig for _, _, sig in points})
+        distinct_times = len({round(t, 9) for _, t, _ in points})
+        lines.append(
+            f"\n{name}: {distinct_sigs} distinct paths / "
+            f"{distinct_times} distinct runtimes over {len(points)} settings"
+        )
+        for exp, t, _ in points:
+            lines.append(f"  2^{exp:<2} -> {t*1e3:9.3f} ms")
+    return "\n".join(lines) + "\n"
+
+
+def test_threshold_sensitivity(benchmark):
+    sweeps = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("threshold_sensitivity", _render(sweeps))
+    for name, points in sweeps.items():
+        distinct_times = {round(t, 12) for _, t, _ in points}
+        # the staircase: far fewer behaviours than settings
+        assert len(distinct_times) <= max(4, len(points) // 3), name
+        # runtimes agree whenever path signatures agree
+        by_sig = {}
+        for _, t, sig in points:
+            assert by_sig.setdefault(sig, t) == t

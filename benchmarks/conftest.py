@@ -1,0 +1,25 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures and writes the
+rows both to stdout and to ``benchmarks/results/<name>.txt``.  The
+pytest-benchmark fixture times the regeneration itself (compile + tune +
+simulate); the simulated GPU times are inside the emitted tables.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.stdout.reconfigure(line_buffering=True)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"\n=== {name} (written to {path}) ===")
+    print(text)

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Pseudo-OpenCL code generation: what the multi-versioned binary looks
+like.
+
+Generates the kernels and host dispatch for LocVolCalib under moderate and
+incremental flattening, showing the §5.1 code expansion concretely: the
+moderate binary has one kernel per scan, the incremental one has every
+guarded version, dispatched by host-side threshold comparisons.
+
+Run:  python examples/codegen_demo.py
+"""
+
+from repro.bench.programs.locvolcalib import locvolcalib_program
+from repro.codegen import generate_opencl
+from repro.compiler import compile_program
+
+
+def main() -> None:
+    prog = locvolcalib_program()
+    for mode in ("moderate", "incremental"):
+        cp = compile_program(prog, mode)
+        code = generate_opencl(cp)
+        print(f"== {mode}: {code.num_kernels} kernels, {code.loc} generated "
+              f"lines ==\n")
+        print(code.host)
+        print()
+    mf = generate_opencl(compile_program(prog, "moderate"))
+    inc = generate_opencl(compile_program(prog, "incremental"))
+    print(f"code expansion (generated LOC): x{inc.loc / mf.loc:.2f} "
+          f"(paper §5.1: ~3x, 'as high as four times')")
+    print("\none intra-group kernel in full (a 'version 2' tridag stage):\n")
+    intra = [src for _, src in inc.kernels if "__local" in src]
+    print(intra[0])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Multi-versioned code and the branching tree (paper §3.2, Fig. 5).
+
+Flattens matrix multiplication incrementally, renders the tree of guarded
+versions the compiler exports to the autotuner, then reproduces the
+Figure 2 sweep: constant-work datasets n = 2^e, m = 2^(k−2e) with
+thresholds trained on k = 20 and applied to k = 25.
+
+Run:  python examples/matmul_versions.py
+"""
+
+from repro.bench.baselines import vendor_matmul_time
+from repro.bench.programs.matmul import matmul_program, matmul_sizes
+from repro.compiler import compile_program
+from repro.flatten import branching_trees, render_tree
+from repro.gpu import K40
+from repro.tuning import exhaustive_tune
+
+
+def main() -> None:
+    prog = matmul_program()
+    mf = compile_program(prog, "moderate")
+    cp = compile_program(prog, "incremental")
+
+    print("thresholds introduced by incremental flattening:")
+    for th in cp.registry.items:
+        print(f"  {th.name}: {th.kind:16} guards Par = {th.par}")
+
+    print("\nbranching tree (cf. paper Fig. 5):")
+    print(render_tree(branching_trees(cp.body)))
+
+    train = [matmul_sizes(e, 20) for e in range(11)]
+    res = exhaustive_tune(cp, train, K40)
+    print(f"tuned on k=20: {res.best_thresholds} "
+          f"({res.simulations} simulations for {res.proposals} proposals)\n")
+
+    k = 25
+    print(f"Figure 2 sweep, k={k}, K40 model (times in ms):")
+    print(f"{'e':>3} {'MF':>10} {'IF':>10} {'AIF':>10} {'vendor':>10}")
+    for e in range(11):
+        s = matmul_sizes(e, k)
+        row = (
+            mf.simulate(s, K40).time,
+            cp.simulate(s, K40).time,
+            cp.simulate(s, K40, thresholds=res.best_thresholds).time,
+            vendor_matmul_time(s["n"], s["m"], K40),
+        )
+        print(f"{e:>3} " + " ".join(f"{t*1e3:>10.4f}" for t in row))
+    print(
+        "\nNote the paper's shape: MF collapses on degenerate datasets, the\n"
+        "vendor library wins on large square shapes, and tuned incremental\n"
+        "flattening tracks the best compiler version everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

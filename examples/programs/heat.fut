@@ -1,0 +1,11 @@
+-- Batched 1-D heat diffusion: an outer map over instances, a sequential
+-- time loop, and an inner stencil map -- the same loop-interchange (G7)
+-- structure as LocVolCalib and Pathfinder.
+def heat(rows: [b][w]f32, steps: i64, w_: i64) =
+  map (\row0 ->
+        loop row = row0 for t < steps do
+          map (\j -> (row[max (j - 1) 0] +
+                      row[j] +
+                      row[min (j + 1) (w_ - 1)]) / 3.0)
+              (iota w_))
+      rows

@@ -1,0 +1,6 @@
+-- The paper's motivating example (section 2.2): matrix multiplication as a
+-- nested-parallel map-map-redomap, exactly Figure 1's language.
+def matmul(xss: [n][m]f32, yss: [m][n]f32) =
+  map (\xs -> map (\ys -> redomap (+) (\x y -> x * y) 0.0 xs ys)
+                  (transpose yss))
+      xss

@@ -1,0 +1,6 @@
+-- Batched maximum prefix sum: map of scan + reduce, a classic
+-- nested-parallel kernel with two inner recurrences per row.
+def mps(xss: [n][m]f32) =
+  map (\row -> let sums = scan (+) 0.0 row
+               in reduce (max) 0.0 sums)
+      xss

@@ -1,0 +1,4 @@
+-- Row sums: the canonical map-of-reduce whose best mapping depends on the
+-- matrix shape (many short rows vs few long rows).
+def sumrows(xss: [n][m]f32) =
+  map (\row -> reduce (+) 0.0 row) xss

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: write a nested-parallel program, flatten it three ways,
+run it, and estimate GPU run times.
+
+The program is the paper's motivating example (§2.2): matrix
+multiplication as ``map (map (redomap (+) (*) 0))``.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_program
+from repro.gpu import K40
+from repro.ir.builder import Program, f32, map_, op2, redomap_, transpose, v
+from repro.ir.types import F32, array_of
+from repro.sizes import SizeVar
+
+
+def main() -> None:
+    # 1. Write the program against the source IR.  Python lambdas become
+    #    IR lambdas; operators are overloaded on expressions.
+    n, m = SizeVar("n"), SizeVar("m")
+    yss = v("yss")
+    body = map_(
+        lambda xs: map_(
+            lambda ys: redomap_(op2("+"), lambda x, y: x * y, [f32(0.0)], xs, ys),
+            transpose(yss),
+        ),
+        v("xss"),
+    )
+    prog = Program(
+        "matmul",
+        [("xss", array_of(F32, n, m)), ("yss", array_of(F32, m, n))],
+        body,
+    )
+    print("source program:")
+    print(prog, "\n")
+
+    # 2. Compile with each flattening mode.
+    for mode in ("moderate", "incremental", "full"):
+        cp = compile_program(prog, mode)
+        print(f"--- {mode} flattening "
+              f"({len(cp.registry)} thresholds, {cp.code_size()} AST nodes) ---")
+        print(cp.body, "\n")
+
+    # 3. Run the incrementally flattened program with the reference
+    #    interpreter — every guarded version computes the same value.
+    cp = compile_program(prog, "incremental")
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((4, 8)).astype(np.float32)
+    B = rng.standard_normal((8, 4)).astype(np.float32)
+    (out,) = cp.run({"xss": A, "yss": B})
+    assert np.allclose(out, A @ B, rtol=1e-5)
+    print("interpreted result matches numpy matmul:", np.allclose(out, A @ B))
+
+    # 4. Estimate run time on the K40 model for two dataset shapes: the
+    #    degenerate shape wants full flattening, the square shape wants the
+    #    sequentialised version.  Untuned thresholds default to 2^15.
+    for sizes in (dict(n=2, m=2**18), dict(n=2**10, m=2**5)):
+        rep = cp.simulate(sizes, K40)
+        print(
+            f"simulate n={sizes['n']:>5} m={sizes['m']:>7}: "
+            f"{rep.time*1e3:8.4f} ms across {rep.num_kernels} kernels"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""repro — a reproduction of "Incremental Flattening for Nested Data
+Parallelism" (Henriksen, Thorøe, Elsman, Oancea; PPoPP 2019).
+
+Public API highlights:
+
+* :mod:`repro.ir` — source/target intermediate representations and builder DSL
+* :func:`repro.compiler.compile_program` — the moderate / incremental / full
+  flattening pipeline
+* :mod:`repro.gpu` — device models (K40, VEGA64) and the analytic simulator
+* :mod:`repro.tuning` — the threshold autotuner
+* :mod:`repro.bench` — the paper's benchmark programs, datasets and runners
+"""
+
+__version__ = "1.0.0"

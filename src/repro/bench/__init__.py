@@ -1,0 +1,26 @@
+"""The paper's benchmark suite: programs, datasets, references, runners."""
+
+from repro.bench.datasets import FIG2_SWEEP, LOCVOLCALIB_DATASETS, TABLE1, table1_sizes
+from repro.bench.runner import (
+    BULK_BENCHMARKS,
+    BenchSpec,
+    code_expansion_rows,
+    fig2_rows,
+    fig7_rows,
+    fig8_rows,
+    fullflat_rows,
+)
+
+__all__ = [
+    "FIG2_SWEEP",
+    "LOCVOLCALIB_DATASETS",
+    "TABLE1",
+    "table1_sizes",
+    "BULK_BENCHMARKS",
+    "BenchSpec",
+    "code_expansion_rows",
+    "fig2_rows",
+    "fig7_rows",
+    "fig8_rows",
+    "fullflat_rows",
+]

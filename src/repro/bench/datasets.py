@@ -1,0 +1,81 @@
+"""The paper's datasets: Table 1 (bulk validation), §5.2 (LocVolCalib),
+and the Fig. 2 matmul sweeps.
+
+Each bulk benchmark gets the two datasets D1/D2 of Table 1, chosen by the
+paper "to exhibit different distributions of parallelism"."""
+
+from __future__ import annotations
+
+from repro.bench.programs.backprop import backprop_sizes
+from repro.bench.programs.heston import heston_sizes
+from repro.bench.programs.lavamd import lavamd_sizes
+from repro.bench.programs.matmul import matmul_sizes
+from repro.bench.programs.nn import nn_sizes
+from repro.bench.programs.nw import nw_sizes
+from repro.bench.programs.optionpricing import optionpricing_sizes
+from repro.bench.programs.pathfinder import pathfinder_sizes
+from repro.bench.programs.srad import srad_sizes
+
+__all__ = ["TABLE1", "table1_sizes", "LOCVOLCALIB_DATASETS", "FIG2_SWEEP"]
+
+#: Table 1 — benchmark -> {D1, D2} -> human-readable description
+TABLE1: dict[str, dict[str, str]] = {
+    "Heston": {
+        "D1": "1062 quotes",
+        "D2": "10000 quotes",
+    },
+    "OptionPricing": {
+        "D1": "1048576 MC, 5 dates",
+        "D2": "500 MC, 367 dates",
+    },
+    "Backprop": {
+        "D1": "2^14 neurons",
+        "D2": "2^20 neurons",
+    },
+    "LavaMD": {
+        "D1": "10^3 boxes, 50 per box",
+        "D2": "3^3 boxes, 50 per box",
+    },
+    "NW": {
+        "D1": "2048 edge length",
+        "D2": "1024 edge length",
+    },
+    "NN": {
+        "D1": "1 x 855280 points",
+        "D2": "4096 x 128 points",
+    },
+    "SRAD": {
+        "D1": "1 x 502 x 458 image",
+        "D2": "1024 16 x 16 images",
+    },
+    "Pathfinder": {
+        "D1": "1 x 100 x 10^5 points",
+        "D2": "391 x 100 x 256 points",
+    },
+}
+
+_SIZE_FNS = {
+    "Heston": heston_sizes,
+    "OptionPricing": optionpricing_sizes,
+    "Backprop": backprop_sizes,
+    "LavaMD": lavamd_sizes,
+    "NW": nw_sizes,
+    "NN": nn_sizes,
+    "SRAD": srad_sizes,
+    "Pathfinder": pathfinder_sizes,
+}
+
+
+def table1_sizes(benchmark: str, dataset: str) -> dict[str, int]:
+    """Concrete size assignment for a Table 1 benchmark/dataset."""
+    return _SIZE_FNS[benchmark](dataset)
+
+
+#: §5.2 LocVolCalib datasets
+LOCVOLCALIB_DATASETS = ("small", "medium", "large")
+
+#: Fig. 2 — (exponent e, workload exponent k); n = 2^e, m = 2^(k-2e)
+FIG2_SWEEP = {
+    20: [(e, matmul_sizes(e, 20)) for e in range(11)],
+    25: [(e, matmul_sizes(e, 25)) for e in range(11)],
+}

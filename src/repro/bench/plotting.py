@@ -1,0 +1,99 @@
+"""Terminal plotting for the regenerated figures.
+
+The paper's artifact emits PDF plots; offline we render the same data as
+Unicode charts: log-scale line charts for the Fig. 2 runtime sweeps and
+horizontal bar charts for the Fig. 7/8 speedups.  Pure text — no plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKS = "ABCDEFGH"
+_BAR = "█"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 16,
+    log_y: bool = True,
+    title: str = "",
+    y_unit: str = "ms",
+) -> str:
+    """Render one or more series as a character-grid line chart.
+
+    Each series gets a letter mark; collisions show the later letter.
+    """
+    names = list(series)
+    n = len(x_labels)
+    vals = [v for s in series.values() for v in s if v > 0]
+    if not vals:
+        return "(no data)\n"
+    lo, hi = min(vals), max(vals)
+    if log_y:
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+    else:
+        lo_t, hi_t = lo, hi
+    span = max(hi_t - lo_t, 1e-9)
+
+    width = max(2 * n - 1, n)
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        mark = _MARKS[si % len(_MARKS)]
+        for i, v in enumerate(series[name]):
+            if v <= 0:
+                continue
+            t = math.log10(v) if log_y else v
+            row = height - 1 - int(round((t - lo_t) / span * (height - 1)))
+            grid[row][min(2 * i, width - 1)] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    scale = "log10" if log_y else "linear"
+    for r, row in enumerate(grid):
+        t = hi_t - (r / max(height - 1, 1)) * span
+        label = f"{10**t if log_y else t:10.3g}"
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 10 + "-" * (width + 1))
+    xticks = [" "] * width
+    for i, lab in enumerate(x_labels):
+        pos = 2 * i
+        if pos < width:
+            xticks[pos] = str(lab)[-1]
+    lines.append(" " * 11 + "".join(xticks))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"({scale} {y_unit})  {legend}")
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+    reference: float | None = 1.0,
+) -> str:
+    """Horizontal bar chart; an optional reference line (speedup = 1)."""
+    if not rows:
+        return "(no data)\n"
+    hi = max(v for _, v in rows)
+    label_w = max(len(lbl) for lbl, _ in rows)
+    lines = [title] if title else []
+    for lbl, v in rows:
+        n = int(round(v / hi * width)) if hi > 0 else 0
+        bar = _BAR * max(n, 1 if v > 0 else 0)
+        marker = ""
+        if reference is not None and hi > 0:
+            ref_pos = int(round(reference / hi * width))
+            if 0 <= ref_pos <= width and ref_pos >= n:
+                bar = bar + " " * (ref_pos - n) + "|"
+            marker = ""
+        lines.append(f"{lbl:>{label_w}} {bar} {v:.2f}{marker}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,1 @@
+"""IR implementations of the paper's benchmark programs."""

@@ -1,0 +1,38 @@
+"""Matrix multiplication — the paper's motivating example (§2.2, Fig. 2).
+
+``xss : [n][m]f32`` times ``yss : [m][n]f32``, written as the canonical
+nested-parallel ``map (map (redomap (+) (*) 0))``.  Figure 2 sweeps
+n = 2^e, m = 2^(k−2e) for e = 0..10 with constant total work 2^k.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import Program, f32, map_, op2, redomap_, transpose, v
+from repro.ir.types import F32, array_of
+from repro.sizes import SizeVar
+
+__all__ = ["matmul_program", "matmul_sizes"]
+
+
+def matmul_program() -> Program:
+    n, m = SizeVar("n"), SizeVar("m")
+    yss = v("yss")
+    body = map_(
+        lambda xs: map_(
+            lambda ys: redomap_(op2("+"), lambda x, y: x * y, [f32(0.0)], xs, ys),
+            transpose(yss),
+        ),
+        v("xss"),
+    )
+    return Program(
+        "matmul",
+        [("xss", array_of(F32, n, m)), ("yss", array_of(F32, m, n))],
+        body,
+    )
+
+
+def matmul_sizes(e: int, k: int = 20) -> dict[str, int]:
+    """Fig. 2 dataset point: n = 2^e, m = 2^(k−2e); constant work 2^k."""
+    if 2 * e > k:
+        raise ValueError(f"2*{e} exceeds k={k}")
+    return {"n": 2**e, "m": 2 ** (k - 2 * e)}

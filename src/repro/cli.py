@@ -1,0 +1,325 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+* ``list`` — the built-in benchmark programs and their datasets.
+* ``show PROG [--mode MODE] [--tree]`` — compile and print the target code
+  (and optionally the branching tree) for a built-in benchmark or a
+  ``.fut``-style source file.
+* ``run PROG --size n=4 --size m=3 [--seed S] [--threshold t0=V]`` — run a
+  program on random inputs with the reference interpreter.
+* ``simulate PROG --size ... [--device K40|Vega64] [--threshold t0=V]`` —
+  estimate the run time with the GPU cost model.
+* ``tune PROG --dataset n=...,m=... [--dataset ...] [--device D]
+  [--technique bandit|random|hillclimb|exhaustive]`` — autotune thresholds.
+* ``figures [NAMES...]`` — regenerate the paper's tables (fig2, fig7, fig8,
+  ablation, code, autotuner-free).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+_DEVICES = None
+
+
+def _devices():
+    global _DEVICES
+    if _DEVICES is None:
+        from repro.gpu import K40, VEGA64
+
+        _DEVICES = {"K40": K40, "Vega64": VEGA64, "VEGA64": VEGA64}
+    return _DEVICES
+
+
+def _builtin_programs():
+    from repro.bench.programs.locvolcalib import locvolcalib_program
+    from repro.bench.programs.matmul import matmul_program
+    from repro.bench.runner import BULK_BENCHMARKS
+
+    out = {"matmul": matmul_program, "LocVolCalib": locvolcalib_program}
+    for name, spec in BULK_BENCHMARKS.items():
+        out[name] = spec.program
+    return out
+
+
+def _resolve_program(name: str):
+    progs = _builtin_programs()
+    for key, mk in progs.items():
+        if key.lower() == name.lower():
+            return mk()
+    if os.path.exists(name):
+        from repro.parser import parse_program
+
+        with open(name) as fh:
+            return parse_program(fh.read())
+    raise SystemExit(
+        f"unknown program {name!r}: not a built-in benchmark "
+        f"({', '.join(progs)}) and not a file"
+    )
+
+
+def _parse_kv(items: list[str] | None) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for item in items or []:
+        for part in item.split(","):
+            if not part:
+                continue
+            k, _, v_ = part.partition("=")
+            if not _:
+                raise SystemExit(f"expected key=value, got {part!r}")
+            out[k.strip()] = int(v_)
+    return out
+
+
+def _random_inputs(prog, sizes: dict[str, int], seed: int):
+    from repro.ir.types import ArrayType
+
+    rng = np.random.default_rng(seed)
+    inputs = {}
+    for name, t in prog.params:
+        if isinstance(t, ArrayType):
+            shape = tuple(d.eval(sizes) for d in t.shape)
+            if t.elem.is_float:
+                inputs[name] = rng.standard_normal(shape).astype(
+                    np.float32 if t.elem.nbytes == 4 else np.float64
+                )
+            else:
+                inputs[name] = rng.integers(0, 4, shape).astype(np.int64)
+        else:
+            inputs[name] = sizes.get(name, 1)
+    return inputs
+
+
+def cmd_list(_args) -> int:
+    from repro.bench.datasets import TABLE1
+
+    print("built-in benchmark programs:")
+    for name in _builtin_programs():
+        datasets = TABLE1.get(name)
+        if datasets:
+            extra = "; ".join(f"{k}: {v_}" for k, v_ in datasets.items())
+        elif name == "LocVolCalib":
+            extra = "small / medium / large (paper §5.2)"
+        else:
+            extra = "Fig. 2 sweep (n, m)"
+        print(f"  {name:15} {extra}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    from repro.compiler import compile_program
+    from repro.flatten import branching_trees, render_tree
+
+    prog = _resolve_program(args.program)
+    cp = compile_program(prog, args.mode)
+    print(
+        f"-- {prog.name}: mode={args.mode}, {len(cp.registry)} thresholds, "
+        f"{cp.code_size()} AST nodes"
+    )
+    print(cp.body)
+    if args.tree:
+        print("\nbranching tree:")
+        print(render_tree(branching_trees(cp.body)) or "  (no guards)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.compiler import compile_program
+
+    prog = _resolve_program(args.program)
+    sizes = _parse_kv(args.size)
+    cp = compile_program(prog, args.mode)
+    inputs = _random_inputs(prog, sizes, args.seed)
+    th = _parse_kv(args.threshold)
+    outs = cp.run(inputs, thresholds=th or None)
+    for i, out in enumerate(outs):
+        if hasattr(out, "shape"):
+            print(f"result[{i}]: shape={out.shape} dtype={out.dtype}")
+            flat = np.asarray(out).ravel()
+            print(f"  head: {flat[:8]}")
+        else:
+            print(f"result[{i}]: {out}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.compiler import compile_program
+
+    prog = _resolve_program(args.program)
+    sizes = _parse_kv(args.size)
+    device = _devices()[args.device]
+    cp = compile_program(prog, args.mode)
+    th = _parse_kv(args.threshold)
+    if args.tuning:
+        from repro.tuning import load_thresholds
+
+        th = dict(load_thresholds(args.tuning, cp), **th)
+    rep = cp.simulate(sizes, device, thresholds=th or None)
+    print(
+        f"{prog.name} on {device.name}: {rep.time*1e3:.4f} ms "
+        f"({rep.num_kernels} kernels, {rep.total_gbytes/1e6:.2f} MB global "
+        f"traffic, peak local {rep.peak_local_mem} B)"
+    )
+    if args.kernels:
+        for k in rep.kernels:
+            print(
+                f"  {k.kind:8} lvl{k.level} threads={k.threads:<9} "
+                f"G={k.group_size:<5} t={k.time*1e6:9.2f}us"
+            )
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.compiler import compile_program
+    from repro.tuning import Autotuner, exhaustive_tune
+
+    prog = _resolve_program(args.program)
+    datasets = [_parse_kv([d]) for d in args.dataset]
+    if not datasets:
+        raise SystemExit("tune needs at least one --dataset n=...,m=...")
+    device = _devices()[args.device]
+    cp = compile_program(prog, "incremental")
+    if args.technique == "exhaustive":
+        res = exhaustive_tune(cp, datasets, device)
+    else:
+        tuner = Autotuner(cp, datasets, device, seed=args.seed)
+        res = tuner.tune(max_proposals=args.proposals, technique=args.technique)
+    print(f"best thresholds: {res.best_thresholds}")
+    print(
+        f"cost {res.best_cost*1e3:.4f} ms over {len(datasets)} dataset(s); "
+        f"{res.simulations} simulations, {res.cache_hits} cache hits "
+        f"(dedup {res.dedup_ratio:.0%})"
+    )
+    if args.output:
+        from repro.tuning import save_thresholds
+
+        save_thresholds(
+            args.output, cp, res.best_thresholds,
+            device=device.name, datasets=datasets,
+        )
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.bench import runner
+
+    wanted = set(args.names or ["fig2", "fig7", "fig8", "ablation", "code"])
+    if "fig2" in wanted:
+        from repro.gpu import K40
+
+        for k in (20, 25):
+            print(f"\n== Figure 2 (k={k}, K40) ==")
+            for r in runner.fig2_rows(K40, k_eval=k):
+                print(
+                    f"  e={r.e:<2} MF={r.moderate*1e3:10.4f} "
+                    f"IF={r.incremental*1e3:10.4f} AIF={r.tuned*1e3:10.4f} "
+                    f"vendor={r.vendor*1e3:10.4f}  (ms)"
+                )
+    if "fig7" in wanted:
+        print("\n== Figure 7 (LocVolCalib) ==")
+        for r in runner.fig7_rows():
+            sp = r.speedups()
+            print(
+                f"  {r.device:7} {r.dataset:7} "
+                + " ".join(f"{k_}={v_:5.2f}" for k_, v_ in sp.items())
+            )
+    if "fig8" in wanted:
+        print("\n== Figure 8 (bulk) ==")
+        for r in runner.fig8_rows():
+            sp = r.speedups()
+            ref = f"{sp['Reference']:6.2f}" if "Reference" in sp else "   n/a"
+            print(
+                f"  {r.device:7} {r.benchmark:14} {r.dataset} "
+                f"IF={sp['IF']:8.2f} AIF={sp['AIF']:8.2f} ref={ref}"
+            )
+    if "ablation" in wanted:
+        from repro.gpu import K40
+
+        print("\n== Full-flattening ablation (K40) ==")
+        for b, d, ratio in runner.fullflat_rows(K40):
+            print(f"  {b:14} {d}: FF/IF = {ratio:6.2f}")
+    if "code" in wanted:
+        print("\n== Code expansion ==")
+        for name, tr, sr, lr, nk in runner.code_expansion_rows():
+            print(
+                f"  {name:14} compile x{tr:5.2f}  AST x{sr:5.2f}  "
+                f"genLOC x{lr:5.2f}  ({nk} kernels)"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Incremental flattening for nested data parallelism "
+        "(PPoPP 2019 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list built-in benchmark programs")
+
+    sp = sub.add_parser("show", help="compile and print target code")
+    sp.add_argument("program")
+    sp.add_argument("--mode", default="incremental",
+                    choices=("moderate", "incremental", "full"))
+    sp.add_argument("--tree", action="store_true", help="print branching tree")
+
+    rp = sub.add_parser("run", help="run on random inputs (interpreter)")
+    rp.add_argument("program")
+    rp.add_argument("--mode", default="incremental",
+                    choices=("moderate", "incremental", "full"))
+    rp.add_argument("--size", action="append", help="size binding n=4")
+    rp.add_argument("--threshold", action="append", help="threshold t0=128")
+    rp.add_argument("--seed", type=int, default=0)
+
+    mp = sub.add_parser("simulate", help="estimate run time on a device model")
+    mp.add_argument("program")
+    mp.add_argument("--mode", default="incremental",
+                    choices=("moderate", "incremental", "full"))
+    mp.add_argument("--size", action="append", help="size binding n=4096")
+    mp.add_argument("--threshold", action="append")
+    mp.add_argument("--device", default="K40", choices=("K40", "Vega64"))
+    mp.add_argument("--kernels", action="store_true", help="per-kernel stats")
+    mp.add_argument("--tuning", help="read thresholds from a .tuning file")
+
+    tp = sub.add_parser("tune", help="autotune thresholds")
+    tp.add_argument("program")
+    tp.add_argument("--dataset", action="append", default=[],
+                    help="one dataset: n=4096,m=32 (repeatable)")
+    tp.add_argument("--device", default="K40", choices=("K40", "Vega64"))
+    tp.add_argument("--technique", default="bandit",
+                    choices=("bandit", "random", "hillclimb", "exhaustive"))
+    tp.add_argument("--proposals", type=int, default=300)
+    tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--output", help="write a .tuning JSON file")
+
+    fp = sub.add_parser("figures", help="regenerate the paper's tables")
+    fp.add_argument("names", nargs="*",
+                    help="subset of: fig2 fig7 fig8 ablation code")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "show": cmd_show,
+        "run": cmd_run,
+        "simulate": cmd_simulate,
+        "tune": cmd_tune,
+        "figures": cmd_figures,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Pseudo-OpenCL backend for inspection and code-size measurement."""
+
+from repro.codegen.opencl import GeneratedCode, generate_opencl
+
+__all__ = ["GeneratedCode", "generate_opencl"]

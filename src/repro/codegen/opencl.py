@@ -1,0 +1,399 @@
+"""Pseudo-OpenCL code generation from target programs.
+
+Renders a flattened program the way Futhark's backend would structure it:
+one ``__kernel`` per parallel construct, a host driver that launches them,
+version dispatch as host-side ``if`` chains over the threshold parameters,
+local-memory declarations and barriers for intra-group code.
+
+The output is *pseudo*-OpenCL: it is meant for inspection, teaching and
+size measurement (the §5.1 binary-size proxy), not for compilation — array
+bookkeeping such as allocation and exact stride arithmetic is elided into
+readable helpers (``alloc``, ``launch1d``) rather than spelled out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import CompiledProgram
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.typecheck import TypeError_, typeof
+from repro.ir.types import ArrayType, ScalarType, Type
+from repro.ir.traverse import fresh_name
+
+__all__ = ["GeneratedCode", "generate_opencl"]
+
+_CTYPES = {"f32": "float", "f64": "double", "i32": "int", "i64": "long", "bool": "bool"}
+
+_BINOP_C = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "%": "%",
+    "==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "&&": "&&", "||": "||",
+}
+
+_UNOP_C = {
+    "neg": "-({})", "abs": "fabs({})", "exp": "exp({})", "log": "log({})",
+    "sqrt": "sqrt({})", "not": "!({})",
+    "to_f32": "(float)({})", "to_f64": "(double)({})",
+    "to_i32": "(int)({})", "to_i64": "(long)({})",
+}
+
+
+@dataclass
+class GeneratedCode:
+    """Pseudo-OpenCL output: kernels plus the host driver."""
+
+    name: str
+    kernels: list[tuple[str, str]] = field(default_factory=list)
+    host: str = ""
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def loc(self) -> int:
+        """Generated lines of code — the binary-size proxy of §5.1."""
+        total = sum(src.count("\n") + 1 for _, src in self.kernels)
+        return total + self.host.count("\n") + 1
+
+    def full_source(self) -> str:
+        parts = [src for _, src in self.kernels]
+        parts.append(self.host)
+        return "\n\n".join(parts)
+
+
+def _ctype(t: Type) -> str:
+    if isinstance(t, ScalarType):
+        return _CTYPES[t.name]
+    assert isinstance(t, ArrayType)
+    return f"__global {_CTYPES[t.elem.name]} *"
+
+
+class _Gen:
+    def __init__(self, compiled: CompiledProgram):
+        self.compiled = compiled
+        self.name = compiled.prog.name
+        self.kernels: list[tuple[str, str]] = []
+        self.counter = 0
+
+    # -- expressions (scalar, inside kernels or host) ---------------------------
+
+    def exp(self, e: S.Exp, env: dict[str, Type]) -> str:
+        if isinstance(e, S.Var):
+            return e.name.replace("ζ", "_")
+        if isinstance(e, S.Lit):
+            if e.type.name == "bool":
+                return "true" if e.value else "false"
+            suffix = "f" if e.type.name == "f32" else ""
+            return f"{e.value}{suffix}"
+        if isinstance(e, S.SizeE):
+            return str(e.size).replace("*", " * ")
+        if isinstance(e, T.ParCmp):
+            return f"({e.par} >= {e.threshold})"
+        if isinstance(e, S.BinOp):
+            if e.op in ("min", "max"):
+                return f"{e.op}({self.exp(e.x, env)}, {self.exp(e.y, env)})"
+            if e.op == "pow":
+                return f"pow({self.exp(e.x, env)}, {self.exp(e.y, env)})"
+            return f"({self.exp(e.x, env)} {_BINOP_C[e.op]} {self.exp(e.y, env)})"
+        if isinstance(e, S.UnOp):
+            return _UNOP_C[e.op].format(self.exp(e.x, env))
+        if isinstance(e, S.Index):
+            idxs = "][".join(self.exp(i, env) for i in e.idxs)
+            return f"{self.exp(e.arr, env)}[{idxs}]"
+        if isinstance(e, S.Rearrange):
+            if e.perm == (1, 0):
+                return f"transposed({self.exp(e.arr, env)})"
+            return f"rearranged{e.perm}({self.exp(e.arr, env)})"
+        if isinstance(e, S.Iota):
+            return f"iota({self.exp(e.n, env)})"
+        if isinstance(e, S.Replicate):
+            return f"replicated({self.exp(e.n, env)}, {self.exp(e.x, env)})"
+        if isinstance(e, S.Intrinsic):
+            args = ", ".join(self.exp(a, env) for a in e.args)
+            return f"{e.name}({args})"
+        if isinstance(e, S.TupleExp):
+            return ", ".join(self.exp(x, env) for x in e.elems)
+        return f"/* {type(e).__name__} */"
+
+    def _decl_names(self, e: S.Exp, env: dict[str, Type], names) -> list[str]:
+        try:
+            ts = typeof(e, env)
+        except TypeError_:
+            ts = [None] * len(names)
+        out = []
+        for n, t in zip(names, ts):
+            ct = _ctype(t) if t is not None else "auto"
+            out.append(f"{ct}{'' if ct.endswith('*') else ' '}{n.replace('ζ', '_')}")
+        return out
+
+    # -- sequential statement emission (kernel bodies) ---------------------------
+
+    def seq(self, e: S.Exp, env: dict[str, Type], out: list[str], ind: str,
+            target: str | None = None) -> None:
+        """Emit C statements computing ``e`` into ``target`` (or return)."""
+        assign = f"{target} =" if target else "return"
+        if isinstance(e, S.Let):
+            decls = self._decl_names(e.rhs, env, e.names)
+            if len(e.names) == 1 and not isinstance(
+                e.rhs, (S.Map, S.Scan, S.Scanomap, S.Loop, S.If, T.SegOp)
+            ) and not isinstance(e.rhs, (S.Reduce, S.Redomap)):
+                out.append(f"{ind}{decls[0]} = {self.exp(e.rhs, env)};")
+            else:
+                for d in decls:
+                    out.append(f"{ind}{d};")
+                self.seq(e.rhs, env, out, ind,
+                         target=", ".join(n.replace("ζ", "_") for n in e.names))
+            env2 = dict(env)
+            try:
+                env2.update(zip(e.names, typeof(e.rhs, env)))
+            except TypeError_:
+                pass
+            self.seq(e.body, env2, out, ind, target)
+            return
+        if isinstance(e, S.If):
+            out.append(f"{ind}if ({self.exp(e.cond, env)}) {{")
+            self.seq(e.then, env, out, ind + "    ", target)
+            out.append(f"{ind}}} else {{")
+            self.seq(e.els, env, out, ind + "    ", target)
+            out.append(f"{ind}}}")
+            return
+        if isinstance(e, S.Loop):
+            for p, i in zip(e.params, e.inits):
+                decls = self._decl_names(i, env, (p,))
+                out.append(f"{ind}{decls[0]} = {self.exp(i, env)};")
+            iv = e.ivar.replace("ζ", "_")
+            out.append(
+                f"{ind}for (long {iv} = 0; {iv} < {self.exp(e.bound, env)}; "
+                f"{iv}++) {{"
+            )
+            self.seq(e.body, env, out, ind + "    ",
+                     target=", ".join(p.replace("ζ", "_") for p in e.params))
+            out.append(f"{ind}}}")
+            if target:
+                out.append(f"{ind}{target} = "
+                           f"{', '.join(p.replace('ζ', '_') for p in e.params)};")
+            else:
+                out.append(f"{ind}return "
+                           f"{', '.join(p.replace('ζ', '_') for p in e.params)};")
+            return
+        if isinstance(e, (S.Reduce, S.Redomap)):
+            lam = e.red_lam if isinstance(e, S.Redomap) else e.lam
+            map_lam = e.map_lam if isinstance(e, S.Redomap) else None
+            acc = fresh_name("acc").replace("ζ", "_")
+            out.append(f"{ind}float {acc} = {self.exp(e.nes[0], env)};")
+            k = fresh_name("k").replace("ζ", "_")
+            n0 = self.exp(e.arrs[0], env)
+            out.append(f"{ind}for (long {k} = 0; {k} < len({n0}); {k}++) {{")
+            elems = [f"{self.exp(a, env)}[{k}]" for a in e.arrs]
+            if map_lam is not None:
+                binds = dict(zip(map_lam.params, elems))
+                body = self._inline(map_lam.body, binds, env)
+                out.append(f"{ind}    {acc} = "
+                           f"{self._apply_op(lam, [acc, body], env)};")
+            else:
+                out.append(f"{ind}    {acc} = "
+                           f"{self._apply_op(lam, [acc] + elems, env)};")
+            out.append(f"{ind}}}")
+            out.append(f"{ind}{target or 'return'}"
+                       f"{' =' if target else ''} {acc};")
+            return
+        if isinstance(e, (S.Scan, S.Scanomap, S.Map)):
+            res = fresh_name("res").replace("ζ", "_")
+            out.append(f"{ind}float {res}[/*n*/];  // sequential "
+                       f"{type(e).__name__.lower()}")
+            k = fresh_name("k").replace("ζ", "_")
+            n0 = self.exp(e.arrs[0], env)
+            out.append(f"{ind}for (long {k} = 0; {k} < len({n0}); {k}++) {{")
+            out.append(f"{ind}    {res}[{k}] = ...;  // elementwise body")
+            out.append(f"{ind}}}")
+            out.append(f"{ind}{target or 'return'}"
+                       f"{' =' if target else ''} {res};")
+            return
+        if isinstance(e, T.SegOp):
+            self.intra(e, env, out, ind, target)
+            return
+        out.append(f"{ind}{assign} {self.exp(e, env)};")
+
+    def _inline(self, body: S.Exp, binds: dict[str, str], env) -> str:
+        from repro.ir.traverse import subst_vars
+
+        sub = subst_vars(body, {k: S.Var(v) for k, v in binds.items()})
+        return self.exp(sub, env)
+
+    def _apply_op(self, lam: S.Lambda, args: list[str], env) -> str:
+        binds = dict(zip(lam.params, args))
+        return self._inline(lam.body, binds, env)
+
+    # -- intra-group (level 0) ------------------------------------------------------
+
+    def intra(self, op: T.SegOp, env, out: list[str], ind: str,
+              target: str | None) -> None:
+        dims = " * ".join(str(b.size) for b in op.ctx)
+        buf = fresh_name("buf").replace("ζ", "_")
+        kind = type(op).__name__.lower()
+        out.append(f"{ind}__local float {buf}[{dims}];  // {kind}^0 result")
+        lid = "get_local_id(0)"
+        out.append(f"{ind}for (long c = {lid}; c < {dims}; "
+                   f"c += get_local_size(0)) {{")
+        out.append(f"{ind}    {buf}[c] = ...;  // element body")
+        out.append(f"{ind}}}")
+        out.append(f"{ind}barrier(CLK_LOCAL_MEM_FENCE);")
+        if isinstance(op, T.SegRed):
+            out.append(f"{ind}// intra-group tree reduction over {buf}")
+            out.append(f"{ind}for (long s = get_local_size(0) / 2; s > 0; "
+                       f"s >>= 1) {{")
+            out.append(f"{ind}    if ({lid} < s) {buf}[{lid}] = "
+                       f"op({buf}[{lid}], {buf}[{lid} + s]);")
+            out.append(f"{ind}    barrier(CLK_LOCAL_MEM_FENCE);")
+            out.append(f"{ind}}}")
+        elif isinstance(op, T.SegScan):
+            out.append(f"{ind}// intra-group blocked scan over {buf}")
+            out.append(f"{ind}for (long d = 1; d < {dims}; d <<= 1) {{")
+            out.append(f"{ind}    if ({lid} >= d) {buf}[{lid}] = "
+                       f"op({buf}[{lid} - d], {buf}[{lid}]);")
+            out.append(f"{ind}    barrier(CLK_LOCAL_MEM_FENCE);")
+            out.append(f"{ind}}}")
+        if target:
+            out.append(f"{ind}{target} = {buf};")
+
+    # -- kernels -------------------------------------------------------------------
+
+    def kernel(self, op: T.SegOp, env: dict[str, Type]) -> str:
+        """Emit one kernel; returns the host launch statement."""
+        kind = type(op).__name__.lower()
+        kname = f"{self.name}_k{self.counter}_{kind}"
+        self.counter += 1
+        from repro.ir.traverse import free_vars
+
+        fv = sorted(free_vars(op))
+        params = []
+        for v_ in fv:
+            t = env.get(v_)
+            ct = _ctype(t) if t is not None else "__global float *"
+            sep = "" if ct.endswith("*") else " "
+            params.append(f"{ct}{sep}{v_.replace('ζ', '_')}")
+        lines = [f"__kernel void {kname}({', '.join(params)})", "{"]
+        # decompose the global id over the context dimensions
+        lines.append("    long gid = get_global_id(0);")
+        kenv = dict(env)
+        rem = "gid"
+        for lvl, b in enumerate(op.ctx):
+            idx = f"i{lvl}"
+            inner_dims = [str(bb.size) for bb in op.ctx.bindings[lvl + 1:]]
+            if inner_dims:
+                stride = " * ".join(inner_dims)
+                lines.append(f"    long {idx} = ({rem}) / ({stride});")
+                rem = f"({rem}) % ({stride})"
+            else:
+                lines.append(f"    long {idx} = {rem};")
+            for p, arr in zip(b.params, b.arrays):
+                at = None
+                try:
+                    (at,) = typeof(arr, kenv)
+                except TypeError_:
+                    pass
+                if isinstance(at, ArrayType):
+                    kenv[p] = at.row_type()
+                    rt = at.row_type()
+                    ct = _ctype(rt)
+                    sep = "" if ct.endswith("*") else " "
+                    access = f"{self.exp(arr, kenv)}[{idx}]"
+                    if isinstance(rt, ArrayType):
+                        access = f"&{access}"
+                    lines.append(
+                        f"    {ct}{sep}{p.replace('ζ', '_')} = {access};"
+                    )
+        body: list[str] = []
+        if isinstance(op, T.SegRed):
+            body.append("    // grid-level segmented reduction: stage 1")
+        elif isinstance(op, T.SegScan):
+            body.append("    // grid-level segmented scan: pass 1 of 2")
+        self.seq(op.body, kenv, body, "    ", target="out[gid]")
+        lines.extend(body)
+        lines.append("}")
+        self.kernels.append((kname, "\n".join(lines)))
+        par = str(op.ctx.par())
+        return f"launch1d({kname}, /*threads=*/{par}, ...);"
+
+    # -- host driver ------------------------------------------------------------------
+
+    def host(self, e: S.Exp, env: dict[str, Type], out: list[str], ind: str) -> None:
+        if isinstance(e, T.SegOp):
+            out.append(ind + self.kernel(e, env))
+            return
+        if isinstance(e, S.Let):
+            for d in self._decl_names(e.rhs, env, e.names):
+                out.append(f"{ind}{d};  // device buffer" if d.startswith("__global")
+                           else f"{ind}{d};")
+            if isinstance(e.rhs, T.SegOp):
+                out.append(ind + self.kernel(e.rhs, env))
+            else:
+                self.host(e.rhs, env, out, ind)
+            env2 = dict(env)
+            try:
+                env2.update(zip(e.names, typeof(e.rhs, env)))
+            except TypeError_:
+                pass
+            self.host(e.body, env2, out, ind)
+            return
+        if isinstance(e, S.If):
+            out.append(f"{ind}if ({self.exp(e.cond, env)}) {{")
+            self.host(e.then, env, out, ind + "    ")
+            out.append(f"{ind}}} else {{")
+            self.host(e.els, env, out, ind + "    ")
+            out.append(f"{ind}}}")
+            return
+        if isinstance(e, S.Loop):
+            iv = e.ivar.replace("ζ", "_")
+            for p, i in zip(e.params, e.inits):
+                for d in self._decl_names(i, env, (p,)):
+                    out.append(f"{ind}{d};")
+                if isinstance(i, T.SegOp):
+                    out.append(ind + self.kernel(i, env))
+                else:
+                    out.append(f"{ind}{p.replace('ζ', '_')} = "
+                               f"{self.exp(i, env)};")
+            out.append(f"{ind}for (long {iv} = 0; {iv} < "
+                       f"{self.exp(e.bound, env)}; {iv}++) {{")
+            env2 = dict(env)
+            for pn, i in zip(e.params, e.inits):
+                try:
+                    env2[pn] = typeof(i, env)[0]
+                except TypeError_:
+                    pass
+            self.host(e.body, env2, out, ind + "    ")
+            out.append(f"{ind}}}")
+            return
+        if isinstance(e, (S.Replicate, S.Iota)):
+            out.append(f"{ind}// materialise: {self.exp(e, env)}")
+            return
+        if isinstance(e, S.TupleExp):
+            out.append(f"{ind}// results: {self.exp(e, env)}")
+            return
+        out.append(f"{ind}// {self.exp(e, env)}")
+
+    def generate(self) -> GeneratedCode:
+        cp = self.compiled
+        env = cp.prog.type_env()
+        out: list[str] = [f"// host driver for {self.name} "
+                          f"({cp.mode} flattening)"]
+        for th in cp.registry.items:
+            out.append(f"// tunable: {th.name} guards Par = {th.par} "
+                       f"({th.kind})")
+        sig = ", ".join(
+            f"{_ctype(t)}{'' if _ctype(t).endswith('*') else ' '}{n}"
+            for n, t in cp.prog.params
+        )
+        out.append(f"void {self.name}_main({sig})")
+        out.append("{")
+        self.host(cp.body, env, out, "    ")
+        out.append("}")
+        return GeneratedCode(self.name, self.kernels, "\n".join(out))
+
+
+def generate_opencl(compiled: CompiledProgram) -> GeneratedCode:
+    """Generate pseudo-OpenCL for a compiled program."""
+    return _Gen(compiled).generate()

@@ -1,0 +1,29 @@
+"""Flattening transformations (the paper's core contribution).
+
+:class:`~repro.flatten.engine.Flattener` implements moderate, incremental
+and full flattening over the rules G0–G9; :mod:`~repro.flatten.versions`
+holds the threshold registry and branching-tree extraction; and
+:func:`~repro.flatten.par.max_par` computes symbolic degrees of parallelism.
+"""
+
+from repro.flatten.engine import Flattener, FlattenError, MODES
+from repro.flatten.par import max_par
+from repro.flatten.versions import (
+    BranchNode,
+    Threshold,
+    ThresholdRegistry,
+    branching_trees,
+    render_tree,
+)
+
+__all__ = [
+    "Flattener",
+    "FlattenError",
+    "MODES",
+    "max_par",
+    "BranchNode",
+    "Threshold",
+    "ThresholdRegistry",
+    "branching_trees",
+    "render_tree",
+]

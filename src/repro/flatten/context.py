@@ -1,0 +1,33 @@
+"""Mapnest-context helpers shared by the engine and the simplifier."""
+
+from __future__ import annotations
+
+from repro.ir import source as S
+from repro.ir.target import Binding, Ctx
+from repro.ir.traverse import free_vars
+
+__all__ = ["Binding", "Ctx", "resolve_full_array"]
+
+
+def resolve_full_array(name: str, ctx: Ctx) -> S.Exp | None:
+    """If ``name`` chains through *every* context level, the outer array.
+
+    E.g. for Σ = ⟨xss ∈ xsss⟩⟨xs ∈ xss⟩ the variable ``xs`` resolves to
+    ``xsss``: each element of the nest is exactly the corresponding element
+    of the outer array.  Used by rule G7 (variant loop initialisers) and by
+    identity-segmap elimination.
+    """
+    cur = name
+    arr: S.Exp | None = None
+    for b in reversed(ctx.bindings):
+        if cur not in b.params:
+            return None
+        arr = b.arrays[b.params.index(cur)]
+        if not isinstance(arr, S.Var):
+            if b is ctx.bindings[0] and not (free_vars(arr) & ctx.dom()):
+                return arr
+            return None
+        cur = arr.name
+    if arr is not None and not (free_vars(arr) & ctx.dom()):
+        return arr
+    return None

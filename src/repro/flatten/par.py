@@ -1,0 +1,26 @@
+"""Degree-of-parallelism computation: ``Par(Σ)`` and ``Par(e)`` (paper §3.2).
+
+``Par(Σ)`` is the product of the context's level extents (see
+:meth:`repro.ir.target.Ctx.par`).  ``Par(e)`` for a target expression is the
+*maximal* degree of parallelism utilised by any parallel construct in ``e``,
+where nested constructs multiply (a ``segmap^1`` of extent n whose body runs
+``segmap^0`` of extent m utilises n·m threads).
+"""
+
+from __future__ import annotations
+
+from repro.ir import source as S
+from repro.ir.typecheck import _top_segops
+from repro.sizes import SizeConst, SizeExpr, size_max, size_prod
+
+__all__ = ["max_par"]
+
+
+def max_par(e: S.Exp) -> SizeExpr:
+    """Par(e): the maximal parallelism exercised at any point in ``e``."""
+    pars: list[SizeExpr] = []
+    for op in _top_segops(e):
+        pars.append(size_prod([op.ctx.par(), max_par(op.body)]))
+    if not pars:
+        return SizeConst(1)
+    return size_max(pars)

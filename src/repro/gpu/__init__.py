@@ -1,0 +1,32 @@
+"""GPU device models and the analytic cost simulator."""
+
+from repro.gpu.cost import (
+    AArr,
+    AScal,
+    LocalMemExceeded,
+    SimError,
+    Simulator,
+    aval_from_type,
+    roofline_time,
+)
+from repro.gpu.device import CPU16, K40, VEGA64, DeviceSpec
+from repro.gpu.report import Chain, CostReport, KernelStats
+from repro.gpu.tiling import tiling_factor
+
+__all__ = [
+    "AArr",
+    "AScal",
+    "LocalMemExceeded",
+    "SimError",
+    "Simulator",
+    "aval_from_type",
+    "roofline_time",
+    "K40",
+    "VEGA64",
+    "CPU16",
+    "DeviceSpec",
+    "Chain",
+    "CostReport",
+    "KernelStats",
+    "tiling_factor",
+]

@@ -1,0 +1,132 @@
+"""GPU device models.
+
+The simulator is parameterised by a :class:`DeviceSpec` whose numbers come
+from vendor datasheets for the paper's two machines:
+
+* NVIDIA Tesla **K40** (Kepler GK110B): 15 SMX, 192 cores/SM @ 745 MHz,
+  288 GB/s GDDR5, 48 KiB shared memory, OpenCL group sizes up to 1024.
+* AMD Radeon RX **Vega 64** (GCN5): 64 CUs, 64 lanes/CU @ ~1.5 GHz,
+  484 GB/s HBM2, 64 KiB LDS, OpenCL group sizes up to 256 (as the paper
+  reports for its AMDGPU-PRO stack).
+
+The ratio of ALU rate to memory bandwidth differs between the two
+(K40 ≈ 7.5 op/B, Vega ≈ 12.7 op/B), which makes the Vega *relatively more
+memory-bound* — the property §5.2 uses to explain why FinPar-All/e_middle
+wins there while e_top wins on the K40.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "K40", "VEGA64", "CPU16"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An abstract two-level parallel machine (grid level 1, group level 0)."""
+
+    name: str
+    #: scalar operations per second at full occupancy
+    alu_rate: float
+    #: global-memory bandwidth, bytes/s
+    mem_bw: float
+    #: local (shared/LDS) memory bandwidth, bytes/s
+    local_bw: float
+    #: local memory per workgroup, bytes
+    local_mem: int
+    #: maximum OpenCL workgroup size
+    max_group: int
+    #: default workgroup size (the paper uses 256 untuned)
+    default_group: int
+    #: threads needed to reach full throughput (hides latency)
+    full_occupancy: int
+    #: fixed cost of a kernel launch, seconds
+    launch_s: float
+    #: latency of one dependent ALU op, seconds
+    alu_lat: float
+    #: latency of one dependent global-memory access, seconds
+    mem_lat: float
+    #: latency of one dependent local-memory access, seconds
+    local_lat: float
+    #: cost of a workgroup barrier, seconds
+    barrier_s: float
+    #: host<->device transfer bandwidth (PCIe), bytes/s
+    host_bw: float
+    #: host<->device transfer latency per operation, seconds
+    host_lat: float
+    #: host scalar op rate (for reference codes that compute on the CPU)
+    host_alu_rate: float
+    #: independent memory requests a thread keeps in flight (pipelining)
+    mem_pipeline: float = 4.0
+
+    @property
+    def ops_per_byte(self) -> float:
+        """Compute-to-bandwidth ratio; higher = relatively more memory-bound."""
+        return self.alu_rate / self.mem_bw
+
+
+K40 = DeviceSpec(
+    name="K40",
+    alu_rate=15 * 192 * 0.745e9,  # 2.15e12 scalar op/s
+    mem_bw=288e9,
+    local_bw=1.3e12,
+    local_mem=48 * 1024,
+    max_group=1024,
+    default_group=256,
+    full_occupancy=15 * 2048,  # 30720 resident threads
+    launch_s=5e-6,
+    alu_lat=12e-9,
+    mem_lat=400e-9,
+    local_lat=40e-9,
+    barrier_s=60e-9,
+    host_bw=6e9,
+    host_lat=10e-6,
+    host_alu_rate=10e9,
+)
+
+VEGA64 = DeviceSpec(
+    name="Vega64",
+    alu_rate=64 * 64 * 1.5e9,  # 6.14e12 scalar op/s
+    mem_bw=484e9,
+    local_bw=6.0e12,
+    local_mem=64 * 1024,
+    max_group=256,
+    default_group=256,
+    full_occupancy=64 * 1024,  # 65536 resident threads
+    launch_s=8e-6,
+    alu_lat=10e-9,
+    mem_lat=350e-9,
+    local_lat=30e-9,
+    barrier_s=15e-9,
+    host_bw=6e9,
+    host_lat=10e-6,
+    host_alu_rate=10e9,
+)
+
+
+# The paper (§3.2) positions the rules as "a solid foundation for
+# approaching other types of heterogeneous hardware, such as multicores
+# with SIMD support".  CPU16 models such a machine: hardware level 1 is the
+# core grid, level 0 the SIMD lanes; "local memory" is the per-core L2
+# slice.  Its tiny full-occupancy point (tens of threads instead of tens of
+# thousands) moves every crossover: sequentialising versions win at much
+# smaller degrees of parallelism than on either GPU.
+CPU16 = DeviceSpec(
+    name="CPU16",
+    alu_rate=16 * 8 * 2 * 2.6e9,  # 16 cores x AVX2 fma lanes
+    mem_bw=60e9,
+    local_bw=800e9,  # L2 aggregate
+    local_mem=256 * 1024,
+    max_group=16,  # SIMD width (f32 lanes, 2x unroll)
+    default_group=16,
+    full_occupancy=32,  # 16 cores x 2 hyperthreads
+    launch_s=2e-6,  # parallel-for fork/join
+    alu_lat=1e-9,
+    mem_lat=80e-9,
+    local_lat=4e-9,
+    barrier_s=5e-9,
+    host_bw=50e9,  # unified memory
+    host_lat=1e-6,
+    host_alu_rate=5e10,
+)

@@ -1,0 +1,99 @@
+"""Cost accounting data structures for the GPU simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Chain", "KernelStats", "CostReport"]
+
+
+@dataclass
+class Chain:
+    """Serial cost of one instance (a thread, or a workgroup in intra mode).
+
+    ``gbytes``/``lbytes`` are bytes moved; ``gacc``/``lacc`` count dependent
+    accesses (the latency chain); ``barriers`` counts group synchronisations.
+    """
+
+    ops: float = 0.0
+    gbytes: float = 0.0
+    lbytes: float = 0.0
+    gacc: float = 0.0
+    lacc: float = 0.0
+    barriers: float = 0.0
+
+    def add(self, other: "Chain") -> "Chain":
+        return Chain(
+            self.ops + other.ops,
+            self.gbytes + other.gbytes,
+            self.lbytes + other.lbytes,
+            self.gacc + other.gacc,
+            self.lacc + other.lacc,
+            self.barriers + other.barriers,
+        )
+
+    def scaled(self, k: float) -> "Chain":
+        return Chain(
+            self.ops * k,
+            self.gbytes * k,
+            self.lbytes * k,
+            self.gacc * k,
+            self.lacc * k,
+            self.barriers * k,
+        )
+
+
+@dataclass
+class KernelStats:
+    """One launched kernel: configuration, roofline terms, final time."""
+
+    kind: str  # "segmap", "segred", "segscan", "copy", ...
+    level: int
+    threads: int
+    groups: int
+    group_size: int
+    waves: int
+    time: float
+    compute_bound: float
+    memory_bound: float
+    local_bound: float
+    latency_bound: float
+    gbytes: float
+    ops: float
+    local_mem_used: int = 0
+
+
+@dataclass
+class CostReport:
+    """Aggregate simulation result for one program execution."""
+
+    time: float = 0.0
+    kernels: list[KernelStats] = field(default_factory=list)
+    host_time: float = 0.0
+    transfer_bytes: float = 0.0
+    #: global-memory bytes allocated for kernel results (the "high memory
+    #: usage" axis on which full flattening historically failed — §6)
+    alloc_bytes: float = 0.0
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def total_gbytes(self) -> float:
+        return sum(k.gbytes for k in self.kernels)
+
+    @property
+    def total_ops(self) -> float:
+        return sum(k.ops for k in self.kernels)
+
+    @property
+    def peak_local_mem(self) -> int:
+        return max((k.local_mem_used for k in self.kernels), default=0)
+
+    def merge(self, other: "CostReport") -> None:
+        self.time += other.time
+        self.kernels.extend(other.kernels)
+        self.host_time += other.host_time
+        self.transfer_bytes += other.transfer_bytes
+        self.alloc_bytes += other.alloc_bytes

@@ -1,0 +1,33 @@
+"""Block-tiling legality/benefit analysis.
+
+Futhark's moderate-flattening backend tiles sequentialised ``redomap``s
+inside ``segmap`` kernels when their operand arrays are *invariant* to at
+least one of the kernel's parallel dimensions [32]: threads that differ only
+along an invariant dimension read the same data, so staging tiles in local
+memory divides global traffic by the tile edge.
+
+For the classic matrix-multiplication kernel both operands are invariant to
+one of the two parallel dimensions (2-D block tiling); for kernels such as
+LavaMD's force computation one operand is shared by the whole group (1-D
+tiling).  The factor applies only when the exploited dimension actually has
+at least a tile's worth of sharing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["tiling_factor"]
+
+
+def tiling_factor(varies: frozenset[int], dims: list[int], tile: int) -> float:
+    """Global-traffic division factor for an operand of a sequential redomap.
+
+    ``varies`` holds the kernel context levels along which the operand's
+    value changes; an operand invariant to some level of extent ≥ ``tile``
+    is shared by at least ``tile`` threads of a block along that level.
+    """
+    if not dims:
+        return 1.0
+    for level, extent in enumerate(dims):
+        if level not in varies and extent >= tile:
+            return float(tile)
+    return 1.0

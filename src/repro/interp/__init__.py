@@ -1,0 +1,17 @@
+"""Reference interpreters for the source and target languages."""
+
+from repro.interp.evaluator import (
+    DEFAULT_THRESHOLD,
+    Evaluator,
+    InterpError,
+    bind_sizes,
+    run_program,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "Evaluator",
+    "InterpError",
+    "bind_sizes",
+    "run_program",
+]

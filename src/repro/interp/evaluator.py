@@ -1,0 +1,385 @@
+"""Reference interpreter for source *and* target programs.
+
+The two languages share all sequential constructs; the source SOACs have the
+same value semantics whether they are "parallel" (source) or "sequential"
+(target), so a single evaluator covers both.  The target-only constructs are
+``segmap/segred/segscan`` (evaluated by the defining equations of §2.1) and
+``ParCmp`` version guards (evaluated against the threshold assignment).
+
+This interpreter defines the semantics that flattening must preserve; the
+equivalence property tests run it on both sides of the transformation.
+Reductions and scans always fold left-to-right, so floating-point results
+are bit-identical across source and flattened programs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.interp import intrinsics
+from repro.interp.values import Value, to_dtype
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.builder import Program
+from repro.ir.types import ArrayType
+
+__all__ = ["Evaluator", "run_program", "bind_sizes", "InterpError"]
+
+DEFAULT_THRESHOLD = 2**15  # paper §4.2: untuned thresholds default to 2^15
+
+
+class InterpError(Exception):
+    pass
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if isinstance(a, (float, np.floating)) or isinstance(b, (float, np.floating)) else a // b,
+    "%": lambda a, b: a % b,
+    "min": lambda a, b: min(a, b),
+    "max": lambda a, b: max(a, b),
+    "pow": lambda a, b: a**b,
+    "==": lambda a, b: bool(a == b),
+    "!=": lambda a, b: bool(a != b),
+    "<": lambda a, b: bool(a < b),
+    "<=": lambda a, b: bool(a <= b),
+    ">": lambda a, b: bool(a > b),
+    ">=": lambda a, b: bool(a >= b),
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+}
+
+_UNOPS = {
+    "neg": lambda a: -a,
+    "abs": lambda a: abs(a),
+    "exp": lambda a: type(a)(np.exp(a)) if isinstance(a, np.floating) else math.exp(a),
+    "log": lambda a: type(a)(np.log(a)) if isinstance(a, np.floating) else math.log(a),
+    "sqrt": lambda a: type(a)(np.sqrt(a)) if isinstance(a, np.floating) else math.sqrt(a),
+    "not": lambda a: not bool(a),
+    "to_f32": np.float32,
+    "to_f64": np.float64,
+    "to_i32": lambda a: np.int32(int(a)),
+    "to_i64": lambda a: np.int64(int(a)),
+}
+
+
+class Evaluator:
+    """Evaluates expressions under an environment of named values.
+
+    ``sizes`` binds size variables (needed for ``ParCmp`` guards and
+    ``iota``/``replicate`` with symbolic extents); ``thresholds`` assigns the
+    tunable version-selection parameters (missing entries default to 2^15).
+    """
+
+    def __init__(
+        self,
+        sizes: Mapping[str, int] | None = None,
+        thresholds: Mapping[str, int] | None = None,
+    ):
+        self.sizes = dict(sizes or {})
+        self.thresholds = dict(thresholds or {})
+
+    # -- public entry points ------------------------------------------------
+
+    def eval(self, e: S.Exp, env: dict[str, Value]) -> tuple[Value, ...]:
+        """Evaluate to a tuple of values (multi-value convention)."""
+        return self._eval(e, env)
+
+    def eval1(self, e: S.Exp, env: dict[str, Value]) -> Value:
+        vs = self._eval(e, env)
+        if len(vs) != 1:
+            raise InterpError(f"expected one value, got {len(vs)}")
+        return vs[0]
+
+    def apply(self, lam: S.Lambda, args: tuple[Value, ...], env: dict[str, Value]):
+        if len(lam.params) != len(args):
+            raise InterpError("lambda arity mismatch")
+        inner = dict(env)
+        inner.update(zip(lam.params, args))
+        return self._eval(lam.body, inner)
+
+    # -- core ---------------------------------------------------------------
+
+    def _eval(self, e: S.Exp, env: dict[str, Value]) -> tuple[Value, ...]:
+        if isinstance(e, S.Var):
+            try:
+                return (env[e.name],)
+            except KeyError:
+                raise InterpError(f"unbound variable {e.name!r}") from None
+        if isinstance(e, S.Lit):
+            return (to_dtype(e.type).type(e.value),)
+        if isinstance(e, S.SizeE):
+            return (np.int64(e.size.eval(self.sizes)),)
+        if isinstance(e, S.TupleExp):
+            out: list[Value] = []
+            for x in e.elems:
+                out.extend(self._eval(x, env))
+            return tuple(out)
+        if isinstance(e, S.BinOp):
+            a = self.eval1(e.x, env)
+            b = self.eval1(e.y, env)
+            return (_BINOPS[e.op](a, b),)
+        if isinstance(e, S.UnOp):
+            return (_UNOPS[e.op](self.eval1(e.x, env)),)
+        if isinstance(e, S.Let):
+            vals = self._eval(e.rhs, env)
+            if len(vals) != len(e.names):
+                raise InterpError(
+                    f"let arity mismatch: {len(e.names)} names, {len(vals)} values"
+                )
+            inner = dict(env)
+            inner.update(zip(e.names, vals))
+            return self._eval(e.body, inner)
+        if isinstance(e, S.If):
+            c = self.eval1(e.cond, env)
+            return self._eval(e.then if c else e.els, env)
+        if isinstance(e, S.Index):
+            arr = self.eval1(e.arr, env)
+            idxs = tuple(int(self.eval1(i, env)) for i in e.idxs)
+            out = arr[idxs]
+            return (out,)
+        if isinstance(e, S.Iota):
+            n = int(self.eval1(e.n, env))
+            return (np.arange(n, dtype=np.int64),)
+        if isinstance(e, S.Replicate):
+            n = int(self.eval1(e.n, env))
+            x = self.eval1(e.x, env)
+            if isinstance(x, np.ndarray):
+                return (np.broadcast_to(x, (n,) + x.shape).copy(),)
+            return (np.full(n, x),)
+        if isinstance(e, S.Rearrange):
+            arr = self.eval1(e.arr, env)
+            return (np.transpose(arr, e.perm),)
+        if isinstance(e, S.Loop):
+            vals = [self.eval1(i, env) for i in e.inits]
+            bound = int(self.eval1(e.bound, env))
+            for it in range(bound):
+                inner = dict(env)
+                inner.update(zip(e.params, vals))
+                inner[e.ivar] = np.int64(it)
+                vals = list(self._eval(e.body, inner))
+                if len(vals) != len(e.params):
+                    raise InterpError("loop body arity mismatch")
+            return tuple(vals)
+        if isinstance(e, S.Map):
+            return self._eval_map(e, env)
+        if isinstance(e, S.Reduce):
+            arrs = [self.eval1(a, env) for a in e.arrs]
+            nes = tuple(self.eval1(x, env) for x in e.nes)
+            return self._fold(e.lam, nes, arrs, env)
+        if isinstance(e, S.Scan):
+            arrs = [self.eval1(a, env) for a in e.arrs]
+            nes = tuple(self.eval1(x, env) for x in e.nes)
+            return self._scan(e.lam, nes, arrs, env)
+        if isinstance(e, S.Redomap):
+            arrs = [self.eval1(a, env) for a in e.arrs]
+            nes = tuple(self.eval1(x, env) for x in e.nes)
+            acc = nes
+            for i in range(_outer_len(arrs)):
+                mapped = self.apply(e.map_lam, tuple(a[i] for a in arrs), env)
+                acc = self.apply(e.red_lam, acc + mapped, env)
+            return acc
+        if isinstance(e, S.Scanomap):
+            arrs = [self.eval1(a, env) for a in e.arrs]
+            nes = tuple(self.eval1(x, env) for x in e.nes)
+            acc = nes
+            rows: list[tuple[Value, ...]] = []
+            for i in range(_outer_len(arrs)):
+                mapped = self.apply(e.map_lam, tuple(a[i] for a in arrs), env)
+                acc = self.apply(e.scan_lam, acc + mapped, env)
+                rows.append(acc)
+            return _stack_rows(rows)
+        if isinstance(e, S.Intrinsic):
+            defn = intrinsics.get(e.name)
+            args = [self.eval1(a, env) for a in e.args]
+            out = defn.interp(*args)
+            return out if isinstance(out, tuple) else (out,)
+        if isinstance(e, T.SegMap):
+            return self._eval_segmap(e, env)
+        if isinstance(e, T.SegRed):
+            return self._eval_segred(e, env)
+        if isinstance(e, T.SegScan):
+            return self._eval_segscan(e, env)
+        if isinstance(e, T.ParCmp):
+            par = e.par.eval(self.sizes)
+            t = self.thresholds.get(e.threshold, DEFAULT_THRESHOLD)
+            return (bool(par >= t),)
+        raise InterpError(f"cannot evaluate {type(e).__name__}")
+
+    # -- SOAC helpers ---------------------------------------------------------
+
+    def _eval_map(self, e: S.Map, env: dict[str, Value]) -> tuple[Value, ...]:
+        arrs = [self.eval1(a, env) for a in e.arrs]
+        n = _outer_len(arrs)
+        rows = [
+            self.apply(e.lam, tuple(a[i] for a in arrs), env) for i in range(n)
+        ]
+        if not rows:
+            raise InterpError("map over empty array (shape not inferable)")
+        return _stack_rows(rows)
+
+    def _fold(self, lam, nes, arrs, env) -> tuple[Value, ...]:
+        acc = nes
+        for i in range(_outer_len(arrs)):
+            acc = self.apply(lam, acc + tuple(a[i] for a in arrs), env)
+        return acc
+
+    def _scan(self, lam, nes, arrs, env) -> tuple[Value, ...]:
+        acc = nes
+        rows: list[tuple[Value, ...]] = []
+        for i in range(_outer_len(arrs)):
+            acc = self.apply(lam, acc + tuple(a[i] for a in arrs), env)
+            rows.append(acc)
+        if not rows:
+            raise InterpError("scan over empty array")
+        return _stack_rows(rows)
+
+    # -- seg-op helpers --------------------------------------------------------
+
+    def _eval_segmap(self, e: T.SegMap, env) -> tuple[Value, ...]:
+        nested = self._seg_go(tuple(e.ctx), env, lambda inner: self._eval(e.body, inner))
+        return _nest_to_arrays(nested, len(e.ctx))
+
+    def _eval_segred(self, e: T.SegRed, env) -> tuple[Value, ...]:
+        bindings = tuple(e.ctx)
+
+        def inner_fold(inner_env) -> tuple[Value, ...]:
+            b = bindings[-1]
+            arrays = [self.eval1(a, inner_env) for a in b.arrays]
+            nes = tuple(self.eval1(x, inner_env) for x in e.nes)
+            acc = nes
+            for i in range(_outer_len(arrays)):
+                env2 = dict(inner_env)
+                env2.update(zip(b.params, (a[i] for a in arrays)))
+                vals = self._eval(e.body, env2)
+                acc = self.apply(e.lam, acc + vals, inner_env)
+            return acc
+
+        nested = self._seg_go(bindings[:-1], env, inner_fold)
+        return _nest_to_arrays(nested, len(bindings) - 1)
+
+    def _eval_segscan(self, e: T.SegScan, env) -> tuple[Value, ...]:
+        bindings = tuple(e.ctx)
+
+        def inner_scan(inner_env) -> tuple[Value, ...]:
+            b = bindings[-1]
+            arrays = [self.eval1(a, inner_env) for a in b.arrays]
+            nes = tuple(self.eval1(x, inner_env) for x in e.nes)
+            acc = nes
+            rows: list[tuple[Value, ...]] = []
+            for i in range(_outer_len(arrays)):
+                env2 = dict(inner_env)
+                env2.update(zip(b.params, (a[i] for a in arrays)))
+                vals = self._eval(e.body, env2)
+                acc = self.apply(e.lam, acc + vals, inner_env)
+                rows.append(acc)
+            if not rows:
+                raise InterpError("segscan over empty dimension")
+            return _stack_rows(rows)
+
+        nested = self._seg_go(bindings[:-1], env, inner_scan)
+        return _nest_to_arrays(nested, len(bindings) - 1)
+
+    def _seg_go(self, bindings, env, leaf):
+        """Iterate a context prefix, returning nested lists of leaf results."""
+        if not bindings:
+            return leaf(env)
+        b = bindings[0]
+        arrays = [self.eval1(a, env) for a in b.arrays]
+        n = _outer_len(arrays)
+        out = []
+        for i in range(n):
+            inner = dict(env)
+            inner.update(zip(b.params, (a[i] for a in arrays)))
+            out.append(self._seg_go(bindings[1:], inner, leaf))
+        return out
+
+
+def _outer_len(arrs: list[np.ndarray]) -> int:
+    n = len(arrs[0])
+    for a in arrs[1:]:
+        if len(a) != n:
+            raise InterpError("irregular SOAC arguments")
+    return n
+
+
+def _stack_rows(rows: list[tuple[Value, ...]]) -> tuple[Value, ...]:
+    arity = len(rows[0])
+    return tuple(np.stack([r[j] for r in rows]) for j in range(arity))
+
+
+def _nest_to_arrays(nested, depth: int) -> tuple[Value, ...]:
+    """Turn depth-nested lists of value tuples into a tuple of arrays."""
+    if depth == 0:
+        return nested
+    if depth == 1:
+        return _stack_rows([r for r in nested])
+    subs = [_nest_to_arrays(x, depth - 1) for x in nested]
+    return _stack_rows(subs)
+
+
+def bind_sizes(prog: Program, inputs: Mapping[str, np.ndarray]) -> dict[str, int]:
+    """Derive the size-variable assignment from concrete input shapes."""
+    sizes: dict[str, int] = {}
+    for name, t in prog.params:
+        if not isinstance(t, ArrayType):
+            continue
+        val = inputs[name]
+        if val.ndim != t.rank:
+            raise InterpError(f"{name}: rank mismatch {val.ndim} vs {t.rank}")
+        for dim, actual in zip(t.shape, val.shape):
+            for var in dim.free_vars():
+                pass
+            # match single-variable dims exactly; check others for consistency
+            fv = dim.free_vars()
+            if len(fv) == 1 and str(dim) in fv:
+                (var,) = fv
+                if var in sizes and sizes[var] != actual:
+                    raise InterpError(
+                        f"size {var} bound inconsistently: {sizes[var]} vs {actual}"
+                    )
+                sizes[var] = int(actual)
+            elif not fv:
+                if dim.eval({}) != actual:
+                    raise InterpError(f"{name}: constant dim {dim} != {actual}")
+    # second pass: verify composite dims
+    for name, t in prog.params:
+        if isinstance(t, ArrayType):
+            val = inputs[name]
+            for dim, actual in zip(t.shape, val.shape):
+                if dim.free_vars() <= set(sizes):
+                    if dim.eval(sizes) != actual:
+                        raise InterpError(
+                            f"{name}: dim {dim} evaluates to {dim.eval(sizes)}, "
+                            f"array has {actual}"
+                        )
+    return sizes
+
+
+def run_program(
+    prog: Program,
+    inputs: Mapping[str, Value],
+    body: S.Exp | None = None,
+    thresholds: Mapping[str, int] | None = None,
+    sizes: Mapping[str, int] | None = None,
+) -> tuple[Value, ...]:
+    """Run a program (or an alternative ``body`` over its parameters).
+
+    Scalar program parameters must be supplied in ``inputs`` too; size
+    variables are inferred from array shapes unless given explicitly.
+    """
+    env = {name: inputs[name] for name, _ in prog.params}
+    all_sizes = bind_sizes(prog, inputs)
+    if sizes:
+        all_sizes.update(sizes)
+    # scalar params that double as size variables (e.g. loop bounds)
+    for name, t in prog.params:
+        if not isinstance(t, ArrayType) and isinstance(inputs[name], (int, np.integer)):
+            all_sizes.setdefault(name, int(inputs[name]))
+    ev = Evaluator(sizes=all_sizes, thresholds=thresholds)
+    return ev.eval(body if body is not None else prog.body, env)

@@ -1,0 +1,40 @@
+"""Runtime values for the interpreters.
+
+Values are numpy arrays (regular multidimensional), numpy/Python scalars,
+and Python tuples for multi-values.  Conversion helpers keep dtypes aligned
+with the IR scalar types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.types import ArrayType, ScalarType, Type
+
+__all__ = ["to_dtype", "scalar_value", "zeros_for", "Value"]
+
+Value = object  # np.ndarray | np scalar | python scalar
+
+_DTYPES = {
+    "f32": np.float32,
+    "f64": np.float64,
+    "i32": np.int32,
+    "i64": np.int64,
+    "bool": np.bool_,
+}
+
+
+def to_dtype(t: ScalarType) -> np.dtype:
+    return np.dtype(_DTYPES[t.name])
+
+
+def scalar_value(v, t: ScalarType):
+    return _DTYPES[t.name](v)
+
+
+def zeros_for(t: Type, sizes: dict[str, int]):
+    """A zero value of type ``t`` with symbolic sizes resolved via ``sizes``."""
+    if isinstance(t, ArrayType):
+        shape = tuple(d.eval(sizes) for d in t.shape)
+        return np.zeros(shape, dtype=to_dtype(t.elem))
+    return scalar_value(0, t)

@@ -1,0 +1,5 @@
+"""Intermediate representations: source language (§2) and target language (§2.1)."""
+
+from repro.ir import builder, pretty, source, target, traverse, typecheck, types
+
+__all__ = ["builder", "pretty", "source", "target", "traverse", "typecheck", "types"]

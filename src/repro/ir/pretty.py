@@ -1,0 +1,124 @@
+"""Pretty-printer for source and target expressions.
+
+Output approximates the paper's notation (``segmap^1 ⟨xs ∈ xss⟩ …``).  The
+printed form doubles as the "binary size" proxy for the §5.1 code-expansion
+measurement (together with :func:`repro.ir.traverse.count_nodes`).
+"""
+
+from __future__ import annotations
+
+from repro.ir import source as S
+from repro.ir import target as T
+
+__all__ = ["pretty", "pretty_lambda"]
+
+_INDENT = "  "
+
+
+def pretty(e: S.Exp, indent: int = 0) -> str:
+    return _pp(e, indent)
+
+
+def pretty_lambda(lam: S.Lambda, indent: int = 0) -> str:
+    params = " ".join(lam.params) or "()"
+    return f"(λ{params} → {_pp(lam.body, indent)})"
+
+
+def _pp_list(exps, indent: int) -> str:
+    return " ".join(_pp(x, indent) for x in exps)
+
+
+def _pp(e: S.Exp, ind: int) -> str:
+    pad = _INDENT * ind
+    if isinstance(e, S.Var):
+        return e.name
+    if isinstance(e, S.Lit):
+        if e.type.name == "bool":
+            return "true" if e.value else "false"
+        return f"{e.value}{'' if e.type.name.startswith('i') else 'f'}"
+    if isinstance(e, S.SizeE):
+        return f"⟦{e.size}⟧"
+    if isinstance(e, S.TupleExp):
+        return "(" + ", ".join(_pp(x, ind) for x in e.elems) + ")"
+    if isinstance(e, S.BinOp):
+        if e.op in ("min", "max", "pow"):
+            return f"{e.op}({_pp(e.x, ind)}, {_pp(e.y, ind)})"
+        return f"({_pp(e.x, ind)} {e.op} {_pp(e.y, ind)})"
+    if isinstance(e, S.UnOp):
+        return f"{e.op}({_pp(e.x, ind)})"
+    if isinstance(e, S.Let):
+        names = " ".join(e.names)
+        return (
+            f"let {names} = {_pp(e.rhs, ind + 1)}\n"
+            f"{pad}in {_pp(e.body, ind)}"
+        )
+    if isinstance(e, S.If):
+        return (
+            f"if {_pp(e.cond, ind)}\n"
+            f"{pad}{_INDENT}then {_pp(e.then, ind + 1)}\n"
+            f"{pad}{_INDENT}else {_pp(e.els, ind + 1)}"
+        )
+    if isinstance(e, S.Index):
+        idxs = ", ".join(_pp(i, ind) for i in e.idxs)
+        return f"{_pp(e.arr, ind)}[{idxs}]"
+    if isinstance(e, S.Iota):
+        return f"iota {_pp(e.n, ind)}"
+    if isinstance(e, S.Replicate):
+        return f"replicate {_pp(e.n, ind)} {_pp(e.x, ind)}"
+    if isinstance(e, S.Rearrange):
+        if e.perm == (1, 0):
+            return f"transpose {_pp(e.arr, ind)}"
+        return f"rearrange {e.perm} {_pp(e.arr, ind)}"
+    if isinstance(e, S.Loop):
+        params = " ".join(e.params)
+        inits = _pp_list(e.inits, ind)
+        return (
+            f"loop {params} = {inits} for {e.ivar} < {_pp(e.bound, ind)} do\n"
+            f"{pad}{_INDENT}{_pp(e.body, ind + 1)}"
+        )
+    if isinstance(e, S.Map):
+        return f"map {pretty_lambda(e.lam, ind)} {_pp_list(e.arrs, ind)}"
+    if isinstance(e, S.Reduce):
+        return (
+            f"reduce {pretty_lambda(e.lam, ind)} "
+            f"({_pp_list(e.nes, ind)}) {_pp_list(e.arrs, ind)}"
+        )
+    if isinstance(e, S.Scan):
+        return (
+            f"scan {pretty_lambda(e.lam, ind)} "
+            f"({_pp_list(e.nes, ind)}) {_pp_list(e.arrs, ind)}"
+        )
+    if isinstance(e, S.Redomap):
+        return (
+            f"redomap {pretty_lambda(e.red_lam, ind)} "
+            f"{pretty_lambda(e.map_lam, ind)} "
+            f"({_pp_list(e.nes, ind)}) {_pp_list(e.arrs, ind)}"
+        )
+    if isinstance(e, S.Scanomap):
+        return (
+            f"scanomap {pretty_lambda(e.scan_lam, ind)} "
+            f"{pretty_lambda(e.map_lam, ind)} "
+            f"({_pp_list(e.nes, ind)}) {_pp_list(e.arrs, ind)}"
+        )
+    if isinstance(e, S.Intrinsic):
+        return f"#{e.name}({', '.join(_pp(a, ind) for a in e.args)})"
+    if isinstance(e, T.SegMap):
+        return (
+            f"segmap^{e.level} {e.ctx!r}\n"
+            f"{pad}{_INDENT}({_pp(e.body, ind + 1)})"
+        )
+    if isinstance(e, T.SegRed):
+        return (
+            f"segred^{e.level} {e.ctx!r} {pretty_lambda(e.lam, ind)} "
+            f"({_pp_list(e.nes, ind)})\n"
+            f"{pad}{_INDENT}({_pp(e.body, ind + 1)})"
+        )
+    if isinstance(e, T.SegScan):
+        return (
+            f"segscan^{e.level} {e.ctx!r} {pretty_lambda(e.lam, ind)} "
+            f"({_pp_list(e.nes, ind)})\n"
+            f"{pad}{_INDENT}({_pp(e.body, ind + 1)})"
+        )
+    if isinstance(e, T.ParCmp):
+        return f"{e.par} ≥ {e.threshold}"
+    return f"<{type(e).__name__}>"

@@ -1,0 +1,135 @@
+"""Types for the source and target languages.
+
+The language is first-order and regular: a value is a scalar or a
+multi-dimensional *regular* array of scalars, whose shape is a tuple of
+symbolic :class:`~repro.sizes.SizeExpr`.  Multi-valued expressions (tuples)
+are typed as Python tuples of :data:`Type`; there is no first-class tuple
+type, mirroring the paper's tuple-of-arrays representation.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sizes import SizeExpr, size, SizeLike
+
+__all__ = [
+    "ScalarType",
+    "ArrayType",
+    "Type",
+    "F32",
+    "F64",
+    "I32",
+    "I64",
+    "BOOL",
+    "array_of",
+    "elem_type",
+    "rank",
+    "peel",
+    "wrap",
+]
+
+
+class ScalarType:
+    """A primitive scalar type (f32, f64, i32, i64, bool)."""
+
+    __slots__ = ("name", "nbytes")
+
+    def __init__(self, name: str, nbytes: int):
+        self.name = name
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ScalarType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("ScalarType", self.name))
+
+    @property
+    def is_float(self) -> bool:
+        return self.name in ("f32", "f64")
+
+    @property
+    def is_integral(self) -> bool:
+        return self.name in ("i32", "i64")
+
+
+F32 = ScalarType("f32", 4)
+F64 = ScalarType("f64", 8)
+I32 = ScalarType("i32", 4)
+I64 = ScalarType("i64", 8)
+BOOL = ScalarType("bool", 1)
+
+
+class ArrayType:
+    """A regular array: shape (outermost first) of symbolic sizes."""
+
+    __slots__ = ("shape", "elem")
+
+    def __init__(self, shape: tuple[SizeExpr, ...], elem: ScalarType):
+        if not shape:
+            raise ValueError("ArrayType needs at least one dimension")
+        self.shape = tuple(size(d) for d in shape)
+        self.elem = elem
+
+    def __repr__(self) -> str:
+        dims = "".join(f"[{d}]" for d in self.shape)
+        return f"{dims}{self.elem}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and self.shape == other.shape
+            and self.elem == other.elem
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ArrayType", self.shape, self.elem))
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def outer_size(self) -> SizeExpr:
+        return self.shape[0]
+
+    def row_type(self) -> "Type":
+        """The type of one row: peel the outermost dimension."""
+        if len(self.shape) == 1:
+            return self.elem
+        return ArrayType(self.shape[1:], self.elem)
+
+
+Type = Union[ScalarType, ArrayType]
+
+
+def array_of(t: Type, *outer: SizeLike) -> ArrayType:
+    """Wrap ``t`` in array dimensions, outermost given first."""
+    dims = tuple(size(d) for d in outer)
+    if isinstance(t, ArrayType):
+        return ArrayType(dims + t.shape, t.elem)
+    return ArrayType(dims, t)
+
+
+def elem_type(t: Type) -> ScalarType:
+    return t.elem if isinstance(t, ArrayType) else t
+
+
+def rank(t: Type) -> int:
+    return t.rank if isinstance(t, ArrayType) else 0
+
+
+def peel(t: Type) -> Type:
+    """The element (row) type of an array type."""
+    if not isinstance(t, ArrayType):
+        raise TypeError(f"cannot peel scalar type {t}")
+    return t.row_type()
+
+
+def wrap(t: Type, outer: SizeLike) -> ArrayType:
+    """Add one outer dimension of extent ``outer``."""
+    return array_of(t, outer)

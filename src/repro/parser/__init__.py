@@ -1,0 +1,14 @@
+"""Textual front-end for the source language (paper Fig. 1 syntax)."""
+
+from repro.parser.lexer import LexError, Token, tokenize
+from repro.parser.parser import ParseError, parse_exp, parse_program, parse_programs
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "Token",
+    "tokenize",
+    "parse_exp",
+    "parse_program",
+    "parse_programs",
+]

@@ -1,0 +1,96 @@
+"""Lexer for the textual source language (paper Fig. 1 syntax).
+
+Token kinds follow the paper's grammar: keywords (``map``, ``reduce``,
+``scan``, ``redomap``, ``scanomap``, ``loop``, ``let``, ``in``, ``if``,
+``then``, ``else``, ``for``, ``do``, ``replicate``, ``iota``,
+``rearrange``, ``transpose``, ``def``, ``true``, ``false``), identifiers,
+integer/float literals with optional width suffixes (``1i32``,
+``2.5f64``), operators, and punctuation.  ``--`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "map",
+        "reduce",
+        "scan",
+        "redomap",
+        "scanomap",
+        "loop",
+        "let",
+        "in",
+        "if",
+        "then",
+        "else",
+        "for",
+        "do",
+        "replicate",
+        "iota",
+        "rearrange",
+        "transpose",
+        "def",
+        "true",
+        "false",
+    }
+)
+
+
+class LexError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "kw", "ident", "int", "float", "op", "punct", "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.col}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<float>\d+\.\d+(?:e[+-]?\d+)?(?:f32|f64)?)
+  | (?P<int>\d+(?:i32|i64|f32|f64)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<op>->|==|!=|<=|>=|&&|\|\||[+\-*/%<>=!])
+  | (?P<punct>[()\[\],:\\λ])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(src: str) -> list[Token]:
+    """Tokenize ``src``; raises LexError on unrecognised input."""
+    out: list[Token] = []
+    line, col = 1, 1
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if m is None:
+            raise LexError(f"unexpected character {src[pos]!r} at {line}:{col}")
+        text = m.group(0)
+        kind = m.lastgroup
+        if kind not in ("ws", "comment"):
+            if kind == "ident" and text in KEYWORDS:
+                kind = "kw"
+            out.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = m.end()
+    out.append(Token("eof", "", line, col))
+    return out

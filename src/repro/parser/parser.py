@@ -1,0 +1,433 @@
+"""Recursive-descent parser for the textual source language.
+
+Produces :mod:`repro.ir.source` ASTs and :class:`repro.ir.builder.Program`s.
+The grammar follows the paper's Fig. 1, with conventional conveniences:
+
+* programs:   ``def name(x: [n][m]f32, k: i64) = e``
+* lambdas:    ``\\x y -> e``  (or ``λx y -> e``)
+* sections:   ``(+)``, ``(max)`` — binary operators as SOAC functions
+* SOACs:      ``map f xs ys``, ``reduce f ne xs``,
+  ``scan f ne xs``, ``redomap op f ne xs``, ``scanomap op f ne xs``;
+  multi-value neutral elements are written as tuples: ``(0.0, 1.0)``
+* loops:      ``loop x y = e1 e2 for i < n do e``
+* scalars:    ``1`` : i64, ``1.5`` : f32, widths via suffix (``1i32``)
+* builtins:   ``exp``, ``log``, ``sqrt``, ``abs``, ``to_f32``, ``to_f64``,
+  ``to_i32``, ``to_i64``, ``min``, ``max`` (binary, prefix)
+
+Binary operator precedence, loosest first:
+``||`` < ``&&`` < comparisons < ``+ -`` < ``* / %``.
+"""
+
+from __future__ import annotations
+
+from repro.ir import source as S
+from repro.ir.builder import Program
+from repro.ir.types import BOOL, F32, F64, I32, I64, ArrayType, ScalarType, Type
+from repro.parser.lexer import Token, tokenize
+from repro.sizes import SizeConst, SizeVar
+
+__all__ = ["ParseError", "parse_exp", "parse_program", "parse_programs"]
+
+_SCALARS: dict[str, ScalarType] = {
+    "f32": F32,
+    "f64": F64,
+    "i32": I32,
+    "i64": I64,
+    "bool": BOOL,
+}
+
+_UNOP_NAMES = frozenset(
+    {"exp", "log", "sqrt", "abs", "to_f32", "to_f64", "to_i32", "to_i64"}
+)
+_BINOP_FUNS = frozenset({"min", "max"})
+
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("==", "!=", "<", "<=", ">", ">="),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class ParseError(Exception):
+    pass
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.toks = tokens
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.toks[min(self.pos + ahead, len(self.toks) - 1)]
+
+    def next(self) -> Token:
+        tok = self.toks[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = f"{kind} {text!r}" if text else kind
+            raise ParseError(
+                f"expected {want}, found {tok.kind} {tok.text!r} "
+                f"at {tok.line}:{tok.col}"
+            )
+        return tok
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> bool:
+        if self.at(kind, text):
+            self.next()
+            return True
+        return False
+
+    # -- literals ---------------------------------------------------------------
+
+    def _literal(self, tok: Token) -> S.Lit:
+        text = tok.text
+        for suffix, t in _SCALARS.items():
+            if text.endswith(suffix) and suffix != "bool":
+                num = text[: -len(suffix)]
+                value = float(num) if t.is_float else int(num)
+                return S.Lit(value, t)
+        if tok.kind == "float":
+            return S.Lit(float(text), F32)
+        return S.Lit(int(text), I64)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_exp(self) -> S.Exp:
+        if self.at("kw", "let"):
+            return self._parse_let()
+        if self.at("kw", "if"):
+            return self._parse_if()
+        if self.at("kw", "loop"):
+            return self._parse_loop()
+        return self._parse_binop(0)
+
+    def _parse_let(self) -> S.Exp:
+        self.expect("kw", "let")
+        names = [self.expect("ident").text]
+        while self.at("ident"):
+            names.append(self.next().text)
+        self.expect("op", "=")
+        rhs = self.parse_exp()
+        self.expect("kw", "in")
+        body = self.parse_exp()
+        return S.Let(tuple(names), rhs, body)
+
+    def _parse_if(self) -> S.Exp:
+        self.expect("kw", "if")
+        cond = self.parse_exp()
+        self.expect("kw", "then")
+        then = self.parse_exp()
+        self.expect("kw", "else")
+        els = self.parse_exp()
+        return S.If(cond, then, els)
+
+    def _parse_loop(self) -> S.Exp:
+        self.expect("kw", "loop")
+        params = [self.expect("ident").text]
+        while self.at("ident"):
+            params.append(self.next().text)
+        self.expect("op", "=")
+        inits = [self._parse_atom()]
+        while len(inits) < len(params):
+            inits.append(self._parse_atom())
+        self.expect("kw", "for")
+        ivar = self.expect("ident").text
+        self.expect("op", "<")
+        bound = self._parse_binop(3)  # additive and tighter
+        self.expect("kw", "do")
+        body = self.parse_exp()
+        return S.Loop(tuple(params), tuple(inits), ivar, bound, body)
+
+    def _parse_binop(self, level: int) -> S.Exp:
+        if level >= len(_PRECEDENCE):
+            return self._parse_apply()
+        lhs = self._parse_binop(level + 1)
+        while self.at("op") and self.peek().text in _PRECEDENCE[level]:
+            op = self.next().text
+            rhs = self._parse_binop(level + 1)
+            lhs = S.BinOp(op, lhs, rhs)
+        return lhs
+
+    # -- application layer (SOACs, builtins, indexing) ------------------------------
+
+    def _starts_atom(self) -> bool:
+        tok = self.peek()
+        if tok.kind in ("ident", "int", "float"):
+            return True
+        if tok.kind == "punct" and tok.text in ("(", "\\", "λ"):
+            return True
+        if tok.kind == "kw" and tok.text in (
+            "map",
+            "reduce",
+            "scan",
+            "redomap",
+            "scanomap",
+            "replicate",
+            "iota",
+            "rearrange",
+            "transpose",
+            "true",
+            "false",
+        ):
+            return True
+        return False
+
+    def _parse_apply(self) -> S.Exp:
+        tok = self.peek()
+        if tok.kind == "kw":
+            if tok.text == "map":
+                self.next()
+                lam = self._parse_function()
+                arrs = self._parse_atoms(min_count=1)
+                return S.Map(lam, tuple(arrs))
+            if tok.text in ("reduce", "scan"):
+                self.next()
+                lam = self._parse_function()
+                nes = self._parse_ne_list()
+                arrs = self._parse_atoms(min_count=1)
+                cls = S.Reduce if tok.text == "reduce" else S.Scan
+                return cls(lam, nes, tuple(arrs))
+            if tok.text in ("redomap", "scanomap"):
+                self.next()
+                op = self._parse_function()
+                f = self._parse_function()
+                nes = self._parse_ne_list()
+                arrs = self._parse_atoms(min_count=1)
+                if tok.text == "redomap":
+                    return S.Redomap(op, f, nes, tuple(arrs))
+                return S.Scanomap(op, f, nes, tuple(arrs))
+            if tok.text == "replicate":
+                self.next()
+                n = self._parse_atom()
+                x = self._parse_atom()
+                return S.Replicate(n, x)
+            if tok.text == "iota":
+                self.next()
+                return S.Iota(self._parse_atom())
+            if tok.text == "transpose":
+                self.next()
+                return S.transpose(self._parse_atom())
+            if tok.text == "rearrange":
+                self.next()
+                self.expect("punct", "(")
+                dims = [int(self.expect("int").text)]
+                while self.accept("punct", ","):
+                    dims.append(int(self.expect("int").text))
+                self.expect("punct", ")")
+                return S.Rearrange(tuple(dims), self._parse_atom())
+        if tok.kind == "ident" and tok.text in _UNOP_NAMES:
+            # builtin unary function applied to an atom
+            if self._starts_atom_after(1):
+                self.next()
+                return S.UnOp(tok.text, self._parse_atom())
+        if tok.kind == "ident" and tok.text in _BINOP_FUNS:
+            if self._starts_atom_after(1):
+                self.next()
+                a = self._parse_atom()
+                b = self._parse_atom()
+                return S.BinOp(tok.text, a, b)
+        if tok.kind == "op" and tok.text == "-":
+            self.next()
+            return S.UnOp("neg", self._parse_apply())
+        if tok.kind == "op" and tok.text == "!":
+            self.next()
+            return S.UnOp("not", self._parse_apply())
+        return self._parse_atom()
+
+    def _starts_atom_after(self, ahead: int) -> bool:
+        saved = self.pos
+        self.pos += ahead
+        ok = self._starts_atom()
+        self.pos = saved
+        return ok
+
+    def _parse_ne_list(self) -> list[S.Exp]:
+        """Neutral elements: one atom, or a parenthesised tuple."""
+        if self.at("punct", "("):
+            saved = self.pos
+            self.next()
+            first = self.parse_exp()
+            if self.accept("punct", ","):
+                nes = [first]
+                nes.append(self.parse_exp())
+                while self.accept("punct", ","):
+                    nes.append(self.parse_exp())
+                self.expect("punct", ")")
+                return nes
+            # it was a parenthesised single expression
+            self.expect("punct", ")")
+            return [self._postfix(first)]
+        return [self._parse_atom()]
+
+    def _parse_atoms(self, min_count: int = 0) -> list[S.Exp]:
+        out: list[S.Exp] = []
+        while self._starts_atom():
+            out.append(self._parse_atom())
+        if len(out) < min_count:
+            tok = self.peek()
+            raise ParseError(
+                f"expected at least {min_count} argument(s) at "
+                f"{tok.line}:{tok.col}"
+            )
+        return out
+
+    def _parse_function(self) -> S.Lambda:
+        """A lambda, an operator section like (+), or a named builtin."""
+        if self.at("punct", "\\") or self.at("punct", "λ"):
+            return self._parse_lambda()
+        if self.at("punct", "("):
+            nxt = self.peek(1)
+            if nxt.kind == "op" and self.peek(2).text == ")":
+                self.next()
+                op = self.next().text
+                self.expect("punct", ")")
+                return S.Lambda(("a·", "b·"), S.BinOp(op, S.Var("a·"), S.Var("b·")))
+            if (
+                nxt.kind == "ident"
+                and nxt.text in _BINOP_FUNS
+                and self.peek(2).text == ")"
+            ):
+                self.next()
+                op = self.next().text
+                self.expect("punct", ")")
+                return S.Lambda(("a·", "b·"), S.BinOp(op, S.Var("a·"), S.Var("b·")))
+            # otherwise: a parenthesised function (possibly nested parens)
+            self.next()
+            lam = self._parse_function()
+            self.expect("punct", ")")
+            return lam
+        if self.at("ident") and self.peek().text in _UNOP_NAMES:
+            name = self.next().text
+            return S.Lambda(("x·",), S.UnOp(name, S.Var("x·")))
+        tok = self.peek()
+        raise ParseError(
+            f"expected a function (lambda or operator section) at "
+            f"{tok.line}:{tok.col}"
+        )
+
+    def _parse_lambda(self) -> S.Lambda:
+        self.next()  # \ or λ
+        params = [self.expect("ident").text]
+        while self.at("ident"):
+            params.append(self.next().text)
+        self.expect("op", "->")
+        body = self.parse_exp()
+        return S.Lambda(tuple(params), body)
+
+    def _parse_atom(self) -> S.Exp:
+        tok = self.next()
+        if tok.kind in ("int", "float"):
+            return self._postfix(self._literal(tok))
+        if tok.kind == "kw" and tok.text in ("true", "false"):
+            return S.Lit(tok.text == "true", BOOL)
+        if tok.kind == "kw" and tok.text in ("iota", "transpose", "replicate"):
+            self.pos -= 1
+            return self._postfix(self._parse_apply())
+        if tok.kind == "ident":
+            return self._postfix(S.Var(tok.text))
+        if tok.kind == "punct" and tok.text == "(":
+            first = self.parse_exp()
+            if self.accept("punct", ","):
+                elems = [first, self.parse_exp()]
+                while self.accept("punct", ","):
+                    elems.append(self.parse_exp())
+                self.expect("punct", ")")
+                return S.TupleExp(elems)
+            self.expect("punct", ")")
+            return self._postfix(first)
+        raise ParseError(
+            f"unexpected {tok.kind} {tok.text!r} at {tok.line}:{tok.col}"
+        )
+
+    def _postfix(self, e: S.Exp) -> S.Exp:
+        """Indexing: e[i, j] (binds tighter than application)."""
+        while self.at("punct", "["):
+            self.next()
+            idxs = [self.parse_exp()]
+            while self.accept("punct", ","):
+                idxs.append(self.parse_exp())
+            self.expect("punct", "]")
+            e = S.Index(e, tuple(idxs))
+        return e
+
+    # -- programs ---------------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        dims = []
+        while self.accept("punct", "["):
+            tok = self.next()
+            if tok.kind == "int":
+                dims.append(SizeConst(int(tok.text)))
+            elif tok.kind == "ident":
+                dims.append(SizeVar(tok.text))
+            else:
+                raise ParseError(
+                    f"expected a size at {tok.line}:{tok.col}, got {tok.text!r}"
+                )
+            self.expect("punct", "]")
+        name = self.expect("ident").text
+        if name not in _SCALARS:
+            raise ParseError(f"unknown scalar type {name!r}")
+        elem = _SCALARS[name]
+        if dims:
+            return ArrayType(tuple(dims), elem)
+        return elem
+
+    def parse_program(self) -> Program:
+        self.expect("kw", "def")
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: list[tuple[str, Type]] = []
+        if not self.at("punct", ")"):
+            while True:
+                pname = self.expect("ident").text
+                self.expect("punct", ":")
+                params.append((pname, self.parse_type()))
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        self.expect("op", "=")
+        body = self.parse_exp()
+        return Program(name, params, body)
+
+
+def parse_exp(src: str) -> S.Exp:
+    """Parse a single expression; raises ParseError on leftovers."""
+    p = _Parser(tokenize(src))
+    e = p.parse_exp()
+    tok = p.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"trailing input at {tok.line}:{tok.col}: {tok.text!r}")
+    return e
+
+
+def parse_program(src: str) -> Program:
+    """Parse one ``def`` program."""
+    p = _Parser(tokenize(src))
+    prog = p.parse_program()
+    tok = p.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"trailing input at {tok.line}:{tok.col}: {tok.text!r}")
+    return prog
+
+
+def parse_programs(src: str) -> list[Program]:
+    """Parse a file of several ``def`` programs."""
+    p = _Parser(tokenize(src))
+    out = []
+    while p.peek().kind != "eof":
+        out.append(p.parse_program())
+    return out

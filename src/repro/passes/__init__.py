@@ -1,0 +1,7 @@
+"""Front-end passes run before flattening: ANF, fusion, simplification."""
+
+from repro.passes.anormal import normalize
+from repro.passes.fusion import fuse
+from repro.passes.simplify import simplify
+
+__all__ = ["normalize", "fuse", "simplify"]

@@ -1,0 +1,147 @@
+"""A-normalisation (paper §2 assumes ANF).
+
+The flattening engine requires that parallelism only ever appears in
+*statement* positions: as a ``let`` right-hand side, a branch of ``if``, a
+``loop`` body, or the final result of a block.  This pass hoists SOACs,
+conditionals, loops and seg-ops out of operand positions into fresh ``let``
+bindings, and flattens nested ``let``s.
+
+Pure scalar expression trees (``BinOp``/``UnOp`` chains), ``rearrange``,
+``replicate``, ``iota`` and indexing stay inline — this deliberately
+preserves the syntactic patterns that rules G4 (``replicate`` neutral
+elements) and G5 (``rearrange`` of a bound variable) match on.
+"""
+
+from __future__ import annotations
+
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.traverse import fresh_name
+
+__all__ = ["normalize"]
+
+#: node classes that must not appear in operand position
+_BLOCKY = (
+    S.Map,
+    S.Reduce,
+    S.Scan,
+    S.Redomap,
+    S.Scanomap,
+    S.Let,
+    S.If,
+    S.Loop,
+    T.SegOp,
+)
+
+Bind = tuple[tuple[str, ...], S.Exp]
+
+
+def normalize(e: S.Exp) -> S.Exp:
+    """Return an equivalent expression in A-normal form."""
+    binds, res = _norm(e)
+    return _nest(binds, res)
+
+
+def _nest(binds: list[Bind], res: S.Exp) -> S.Exp:
+    for names, rhs in reversed(binds):
+        res = S.Let(names, rhs, res)
+    return res
+
+
+def _operand(e: S.Exp, binds: list[Bind]) -> S.Exp:
+    """Normalise ``e`` for use in an operand position (hoist block forms)."""
+    sub_binds, flat = _norm(e)
+    binds.extend(sub_binds)
+    if isinstance(flat, _BLOCKY) or isinstance(flat, S.TupleExp):
+        name = fresh_name("a")
+        binds.append(((name,), flat))
+        return S.Var(name)
+    return flat
+
+
+def _norm_lambda(lam: S.Lambda) -> S.Lambda:
+    return S.Lambda(lam.params, normalize(lam.body))
+
+
+def _norm(e: S.Exp) -> tuple[list[Bind], S.Exp]:
+    binds: list[Bind] = []
+    if isinstance(e, (S.Var, S.Lit, S.SizeE, T.ParCmp)):
+        return binds, e
+    if isinstance(e, S.TupleExp):
+        return binds, S.TupleExp(tuple(_operand(x, binds) for x in e.elems))
+    if isinstance(e, S.BinOp):
+        return binds, S.BinOp(e.op, _operand(e.x, binds), _operand(e.y, binds))
+    if isinstance(e, S.UnOp):
+        return binds, S.UnOp(e.op, _operand(e.x, binds))
+    if isinstance(e, S.Let):
+        rhs_binds, rhs = _norm(e.rhs)
+        binds.extend(rhs_binds)
+        binds.append((e.names, rhs))
+        body_binds, body = _norm(e.body)
+        binds.extend(body_binds)
+        return binds, body
+    if isinstance(e, S.If):
+        cond = _operand(e.cond, binds)
+        return binds, S.If(cond, normalize(e.then), normalize(e.els))
+    if isinstance(e, S.Index):
+        return binds, S.Index(
+            _operand(e.arr, binds), tuple(_operand(i, binds) for i in e.idxs)
+        )
+    if isinstance(e, S.Iota):
+        return binds, S.Iota(_operand(e.n, binds))
+    if isinstance(e, S.Replicate):
+        return binds, S.Replicate(_operand(e.n, binds), _operand(e.x, binds))
+    if isinstance(e, S.Rearrange):
+        return binds, S.Rearrange(e.perm, _operand(e.arr, binds))
+    if isinstance(e, S.Loop):
+        inits = tuple(_operand(i, binds) for i in e.inits)
+        bound = _operand(e.bound, binds)
+        return binds, S.Loop(e.params, inits, e.ivar, bound, normalize(e.body))
+    if isinstance(e, S.Map):
+        arrs = tuple(_soac_arr(a, binds) for a in e.arrs)
+        return binds, S.Map(_norm_lambda(e.lam), arrs)
+    if isinstance(e, S.Reduce):
+        nes = tuple(_operand(n, binds) for n in e.nes)
+        arrs = tuple(_soac_arr(a, binds) for a in e.arrs)
+        return binds, S.Reduce(_norm_lambda(e.lam), nes, arrs)
+    if isinstance(e, S.Scan):
+        nes = tuple(_operand(n, binds) for n in e.nes)
+        arrs = tuple(_soac_arr(a, binds) for a in e.arrs)
+        return binds, S.Scan(_norm_lambda(e.lam), nes, arrs)
+    if isinstance(e, S.Redomap):
+        nes = tuple(_operand(n, binds) for n in e.nes)
+        arrs = tuple(_soac_arr(a, binds) for a in e.arrs)
+        return binds, S.Redomap(_norm_lambda(e.red_lam), _norm_lambda(e.map_lam), nes, arrs)
+    if isinstance(e, S.Scanomap):
+        nes = tuple(_operand(n, binds) for n in e.nes)
+        arrs = tuple(_soac_arr(a, binds) for a in e.arrs)
+        return binds, S.Scanomap(
+            _norm_lambda(e.scan_lam), _norm_lambda(e.map_lam), nes, arrs
+        )
+    if isinstance(e, S.Intrinsic):
+        return binds, S.Intrinsic(e.name, tuple(_operand(a, binds) for a in e.args))
+    if isinstance(e, T.SegMap):
+        return binds, T.SegMap(e.level, _norm_ctx(e.ctx, binds), normalize(e.body))
+    if isinstance(e, (T.SegRed, T.SegScan)):
+        cls = type(e)
+        nes = tuple(_operand(n, binds) for n in e.nes)
+        return binds, cls(
+            e.level, _norm_ctx(e.ctx, binds), _norm_lambda(e.lam), nes, normalize(e.body)
+        )
+    raise TypeError(f"normalize: unknown class {type(e).__name__}")
+
+
+def _soac_arr(a: S.Exp, binds: list[Bind]) -> S.Exp:
+    """SOAC array operands: keep rearranges of atoms inline (G4/G5 patterns)."""
+    if isinstance(a, S.Rearrange):
+        return S.Rearrange(a.perm, _soac_arr(a.arr, binds))
+    return _operand(a, binds)
+
+
+def _norm_ctx(ctx: T.Ctx, binds: list[Bind]) -> T.Ctx:
+    return T.Ctx(
+        T.Binding(
+            b.params, tuple(_soac_arr(a, binds) for a in b.arrays), b.size
+        )
+        for b in ctx
+    )

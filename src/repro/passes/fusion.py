@@ -1,0 +1,95 @@
+"""Producer/consumer fusion (paper §4: "aggressive fusion [30, 31] is
+performed prior to flattening").
+
+On A-normalised programs, rewrites
+
+* ``let ȳ = map f x̄s in … reduce ⊙ v̄ ȳ …``  →  ``… redomap ⊙ f v̄ x̄s …``
+* ``let ȳ = map f x̄s in … scan ⊙ v̄ ȳ …``    →  ``… scanomap ⊙ f v̄ x̄s …``
+* ``let ȳ = map f x̄s in … map g ȳ …``        →  ``… map (g ∘ f) x̄s …``
+
+whenever the produced arrays are consumed exactly once, by that single
+consumer, with the arrays in producer order.  The fused-vs-unfused
+distinction matters downstream: moderate flattening *sequentialises* fused
+``redomap``s but parallelises plain ``reduce``s (§3.1), which is why the
+paper's Backprop experiment explicitly disables this pass for MF.
+"""
+
+from __future__ import annotations
+
+from repro.ir import source as S
+from repro.ir.traverse import fresh_name, map_children, walk
+
+__all__ = ["fuse"]
+
+
+def _count_uses(names: tuple[str, ...], e: S.Exp) -> int:
+    wanted = set(names)
+    return sum(1 for sub in walk(e) if isinstance(sub, S.Var) and sub.name in wanted)
+
+
+def _is_exact_consumer(node: S.Exp, names: tuple[str, ...]) -> bool:
+    if isinstance(node, (S.Reduce, S.Scan)) or type(node) is S.Map:
+        arrs = node.arrs
+        return len(arrs) == len(names) and all(
+            isinstance(a, S.Var) and a.name == n for a, n in zip(arrs, names)
+        )
+    return False
+
+
+def _find_consumer(e: S.Exp, names: tuple[str, ...]) -> S.Exp | None:
+    for sub in walk(e):
+        if _is_exact_consumer(sub, names):
+            return sub
+    return None
+
+
+def _replace_once(root: S.Exp, old: S.Exp, new: S.Exp) -> S.Exp:
+    """Replace the (identity-matched) node ``old`` with ``new``."""
+    if root is old:
+        return new
+    return map_children(root, lambda c: _replace_once(c, old, new))
+
+
+def _compose(f: S.Lambda, g: S.Lambda) -> S.Lambda:
+    """g ∘ f as a single lambda (f's results feed g's parameters)."""
+    gp = tuple(fresh_name(p) for p in g.params)
+    from repro.ir.traverse import rename_vars
+
+    g_body = rename_vars(g.body, dict(zip(g.params, gp)))
+    return S.Lambda(f.params, S.Let(gp, f.body, g_body))
+
+
+def fuse(e: S.Exp) -> S.Exp:
+    """Apply fusion to fixpoint, recursing through the whole program."""
+    changed = True
+    while changed:
+        e, changed = _fuse_once(e)
+    return map_children(e, fuse)
+
+
+def _fuse_once(e: S.Exp) -> tuple[S.Exp, bool]:
+    if isinstance(e, S.Let) and type(e.rhs) is S.Map:
+        names = e.names
+        uses = _count_uses(names, e.body)
+        consumer = _find_consumer(e.body, names)
+        if consumer is not None and uses == len(names):
+            producer: S.Map = e.rhs
+            if isinstance(consumer, S.Reduce):
+                fused: S.Exp = S.Redomap(
+                    consumer.lam, producer.lam, consumer.nes, producer.arrs
+                )
+            elif isinstance(consumer, S.Scan):
+                fused = S.Scanomap(
+                    consumer.lam, producer.lam, consumer.nes, producer.arrs
+                )
+            else:  # map ∘ map
+                fused = S.Map(_compose(producer.lam, consumer.lam), producer.arrs)
+            return _replace_once(e.body, consumer, fused), True
+    if isinstance(e, S.Let):
+        body, changed = _fuse_once(e.body)
+        if changed:
+            return S.Let(e.names, e.rhs, body), True
+        rhs, changed = _fuse_once(e.rhs)
+        if changed:
+            return S.Let(e.names, rhs, e.body), True
+    return e, False

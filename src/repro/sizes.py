@@ -1,0 +1,304 @@
+"""Symbolic size algebra.
+
+Array shapes, degrees of parallelism (``Par(Σ)``, ``Par(e)``), and
+local-memory requirements are all expressions over *symbolic sizes*: dataset
+parameters such as ``numS`` or ``numX`` that are only known at run time.  The
+flattening pass manipulates these symbolically and the GPU simulator
+evaluates them against a concrete dataset environment.
+
+The algebra is deliberately small: non-negative integer constants, named
+variables, products, sums, and ``max``.  Expressions are immutable, hashable
+and normalised on construction (constants folded, products/sums flattened and
+sorted) so that structural equality is a useful notion of size equality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Union
+
+__all__ = [
+    "SizeExpr",
+    "SizeConst",
+    "SizeVar",
+    "SizeProd",
+    "SizeSum",
+    "SizeMax",
+    "size",
+    "size_prod",
+    "size_sum",
+    "size_max",
+]
+
+SizeLike = Union["SizeExpr", int, str]
+
+
+def size(x: SizeLike) -> "SizeExpr":
+    """Coerce an int, a variable name, or a SizeExpr into a SizeExpr."""
+    if isinstance(x, SizeExpr):
+        return x
+    if isinstance(x, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("booleans are not sizes")
+    if isinstance(x, int):
+        if x < 0:
+            raise ValueError(f"sizes must be non-negative, got {x}")
+        return SizeConst(x)
+    if isinstance(x, str):
+        return SizeVar(x)
+    raise TypeError(f"cannot interpret {x!r} as a size")
+
+
+class SizeExpr:
+    """Base class for symbolic size expressions."""
+
+    __slots__ = ()
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        """Evaluate against a concrete assignment of size variables."""
+        raise NotImplementedError
+
+    def free_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def is_constant(self) -> bool:
+        return not self.free_vars()
+
+    # -- operators ---------------------------------------------------------
+
+    def __mul__(self, other: SizeLike) -> "SizeExpr":
+        return size_prod([self, size(other)])
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: SizeLike) -> "SizeExpr":
+        return size_sum([self, size(other)])
+
+    __radd__ = __add__
+
+    def __hash__(self) -> int:  # concrete classes define _key
+        return hash((type(self).__name__, self._key()))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SizeExpr)
+            and type(self) is type(other)
+            and self._key() == other._key()
+        )
+
+    def _key(self):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class SizeConst(SizeExpr):
+    """A non-negative integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if value < 0:
+            raise ValueError("sizes must be non-negative")
+        self.value = int(value)
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def _key(self):
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class SizeVar(SizeExpr):
+    """A named size, bound at run time by the dataset."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(f"size variable {self.name!r} not bound") from None
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def _key(self):
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class SizeProd(SizeExpr):
+    """A product of factors.  Always has >= 2 non-constant-foldable factors."""
+
+    __slots__ = ("factors",)
+
+    def __init__(self, factors: tuple[SizeExpr, ...]):
+        self.factors = factors
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        out = 1
+        for f in self.factors:
+            out *= f.eval(env)
+        return out
+
+    def free_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for f in self.factors:
+            out |= f.free_vars()
+        return out
+
+    def _key(self):
+        return self.factors
+
+    def __str__(self) -> str:
+        return "*".join(_paren(f) for f in self.factors)
+
+
+class SizeSum(SizeExpr):
+    """A sum of terms.  Always has >= 2 non-constant-foldable terms."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: tuple[SizeExpr, ...]):
+        self.terms = terms
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return sum(t.eval(env) for t in self.terms)
+
+    def free_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for t in self.terms:
+            out |= t.free_vars()
+        return out
+
+    def _key(self):
+        return self.terms
+
+    def __str__(self) -> str:
+        return " + ".join(str(t) for t in self.terms)
+
+
+class SizeMax(SizeExpr):
+    """Maximum of alternatives (used for Par(e) over multiple kernels)."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: tuple[SizeExpr, ...]):
+        self.args = args
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return max(a.eval(env) for a in self.args)
+
+    def free_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free_vars()
+        return out
+
+    def _key(self):
+        return self.args
+
+    def __str__(self) -> str:
+        return "max(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+def _paren(e: SizeExpr) -> str:
+    if isinstance(e, (SizeSum, SizeMax)):
+        return f"({e})"
+    return str(e)
+
+
+def size_prod(factors: Iterable[SizeLike]) -> SizeExpr:
+    """Smart product constructor: folds constants, flattens nested products.
+
+    A zero factor annihilates the product; unit factors are dropped.
+    """
+    const = 1
+    rest: list[SizeExpr] = []
+    for raw in factors:
+        f = size(raw)
+        if isinstance(f, SizeConst):
+            const *= f.value
+        elif isinstance(f, SizeProd):
+            for sub in f.factors:
+                if isinstance(sub, SizeConst):
+                    const *= sub.value
+                else:
+                    rest.append(sub)
+        else:
+            rest.append(f)
+    if const == 0:
+        return SizeConst(0)
+    rest.sort(key=str)
+    if const != 1:
+        rest.insert(0, SizeConst(const))
+    if not rest:
+        return SizeConst(1)
+    if len(rest) == 1:
+        return rest[0]
+    return SizeProd(tuple(rest))
+
+
+def size_sum(terms: Iterable[SizeLike]) -> SizeExpr:
+    """Smart sum constructor: folds constants, flattens nested sums."""
+    const = 0
+    rest: list[SizeExpr] = []
+    for raw in terms:
+        t = size(raw)
+        if isinstance(t, SizeConst):
+            const += t.value
+        elif isinstance(t, SizeSum):
+            for sub in t.terms:
+                if isinstance(sub, SizeConst):
+                    const += sub.value
+                else:
+                    rest.append(sub)
+        else:
+            rest.append(t)
+    rest.sort(key=str)
+    if const != 0:
+        rest.append(SizeConst(const))
+    if not rest:
+        return SizeConst(0)
+    if len(rest) == 1:
+        return rest[0]
+    return SizeSum(tuple(rest))
+
+
+def size_max(args: Iterable[SizeLike]) -> SizeExpr:
+    """Smart max constructor: dedups, folds nested maxes and constants."""
+    consts: list[int] = []
+    rest: list[SizeExpr] = []
+    for raw in args:
+        a = size(raw)
+        if isinstance(a, SizeConst):
+            consts.append(a.value)
+        elif isinstance(a, SizeMax):
+            for sub in a.args:
+                if isinstance(sub, SizeConst):
+                    consts.append(sub.value)
+                elif sub not in rest:
+                    rest.append(sub)
+        elif a not in rest:
+            rest.append(a)
+    if consts:
+        c = max(consts)
+        if c > 0 or not rest:
+            rest.append(SizeConst(c))
+    rest.sort(key=str)
+    if not rest:
+        raise ValueError("size_max of no arguments")
+    if len(rest) == 1:
+        return rest[0]
+    return SizeMax(tuple(rest))

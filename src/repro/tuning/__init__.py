@@ -1,0 +1,26 @@
+"""Threshold autotuning (paper §4.2): parameters, search, path caching."""
+
+from repro.tuning.exhaustive import candidate_values, exhaustive_tune
+from repro.tuning.params import LogIntegerParameter, ParameterSpace
+from repro.tuning.persist import TuningFileError, load_thresholds, save_thresholds
+from repro.tuning.search import AUCBandit, HillClimb, RandomSearch, make_technique
+from repro.tuning.tree import path_signature, thresholds_in
+from repro.tuning.tuner import Autotuner, TuningResult
+
+__all__ = [
+    "Autotuner",
+    "TuningResult",
+    "LogIntegerParameter",
+    "ParameterSpace",
+    "RandomSearch",
+    "HillClimb",
+    "AUCBandit",
+    "make_technique",
+    "path_signature",
+    "thresholds_in",
+    "candidate_values",
+    "exhaustive_tune",
+    "TuningFileError",
+    "load_thresholds",
+    "save_thresholds",
+]

@@ -1,0 +1,68 @@
+"""Tunable parameters (paper §4.2).
+
+Each threshold is exposed as a ``LogIntegerParameter``: the search works on
+a log-scaled view so halving and doubling appear as moves of equal
+magnitude, exactly as the paper configures OpenTuner.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["LogIntegerParameter", "ParameterSpace"]
+
+
+@dataclass(frozen=True)
+class LogIntegerParameter:
+    """An integer parameter searched on a log₂ scale."""
+
+    name: str
+    lo: int = 1
+    hi: int = 2**30
+
+    def random_value(self, rng: random.Random) -> int:
+        x = rng.uniform(math.log2(self.lo), math.log2(self.hi))
+        return int(round(2**x))
+
+    def neighbors(self, value: int) -> list[int]:
+        """Halving and doubling — equal-magnitude log-scale moves."""
+        out = []
+        if value // 2 >= self.lo:
+            out.append(value // 2)
+        if value * 2 <= self.hi:
+            out.append(value * 2)
+        return out
+
+    def clamp(self, value: int) -> int:
+        return max(self.lo, min(self.hi, int(value)))
+
+
+class ParameterSpace:
+    """The searchable space: one log-integer parameter per threshold."""
+
+    def __init__(self, names: list[str], lo: int = 1, hi: int = 2**30):
+        self.params = [LogIntegerParameter(n, lo, hi) for n in names]
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def default_config(self, default: int = 2**15) -> dict[str, int]:
+        return {p.name: default for p in self.params}
+
+    def random_config(self, rng: random.Random) -> dict[str, int]:
+        return {p.name: p.random_value(rng) for p in self.params}
+
+    def mutate(self, config: dict[str, int], rng: random.Random) -> dict[str, int]:
+        """Move one randomly chosen parameter one log step."""
+        if not self.params:
+            return dict(config)
+        p = rng.choice(self.params)
+        new = dict(config)
+        options = p.neighbors(config[p.name]) or [config[p.name]]
+        new[p.name] = rng.choice(options)
+        return new

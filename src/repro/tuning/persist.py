@@ -1,0 +1,76 @@
+"""Threshold persistence — the analogue of Futhark's ``.tuning`` files.
+
+The artifact workflow tunes once and reuses the thresholds across runs;
+this module stores an assignment together with enough metadata to detect
+stale files (program name, threshold list, device, training datasets).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.compiler import CompiledProgram
+
+__all__ = ["save_thresholds", "load_thresholds", "TuningFileError"]
+
+_FORMAT = 1
+
+
+class TuningFileError(Exception):
+    pass
+
+
+def save_thresholds(
+    path: str,
+    compiled: CompiledProgram,
+    thresholds: Mapping[str, int],
+    device: str = "",
+    datasets: list[dict] | None = None,
+) -> None:
+    """Write a tuning file for ``compiled``'s threshold parameters."""
+    unknown = set(thresholds) - set(compiled.thresholds())
+    if unknown:
+        raise TuningFileError(f"unknown threshold name(s): {sorted(unknown)}")
+    doc = {
+        "format": _FORMAT,
+        "program": compiled.prog.name,
+        "mode": compiled.mode,
+        "device": device,
+        "thresholds": dict(thresholds),
+        "parameters": [
+            {"name": t.name, "kind": t.kind, "par": str(t.par)}
+            for t in compiled.registry.items
+        ],
+        "datasets": datasets or [],
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_thresholds(
+    path: str, compiled: CompiledProgram | None = None
+) -> dict[str, int]:
+    """Read a tuning file; verifies it matches ``compiled`` when given."""
+    with open(path) as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TuningFileError(f"{path}: not a tuning file ({exc})") from None
+    if doc.get("format") != _FORMAT:
+        raise TuningFileError(f"{path}: unsupported format {doc.get('format')}")
+    thresholds = {str(k): int(v) for k, v in doc.get("thresholds", {}).items()}
+    if compiled is not None:
+        if doc.get("program") != compiled.prog.name:
+            raise TuningFileError(
+                f"{path}: tuned for program {doc.get('program')!r}, "
+                f"not {compiled.prog.name!r}"
+            )
+        expected = set(compiled.thresholds())
+        if not set(thresholds) <= expected:
+            raise TuningFileError(
+                f"{path}: threshold names do not match the compiled program "
+                f"(stale tuning file?)"
+            )
+    return thresholds

@@ -1,0 +1,95 @@
+"""Path signatures through a program's branching tree (paper §4.2).
+
+Different threshold assignments frequently select the *same* execution path
+for a given dataset ("the parameter assignment (5,15,25) results in version
+V1, but so do assignments with p1 = 6!").  The tuner keys its measurement
+cache on the path signature — the ordered list of (threshold, decision)
+pairs actually *reached* during execution — so duplicate assignments resolve
+without re-running the program.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.interp.evaluator import DEFAULT_THRESHOLD
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.traverse import _spec
+
+__all__ = ["path_signature", "thresholds_in"]
+
+
+def thresholds_in(e: S.Exp) -> list[str]:
+    """All threshold names appearing in guard position, in discovery order."""
+    out: list[str] = []
+
+    def go(x: S.Exp) -> None:
+        if isinstance(x, T.ParCmp):
+            if x.threshold not in out:
+                out.append(x.threshold)
+        for attr, kind in _spec(x):
+            val = getattr(x, attr)
+            if kind == "exp":
+                go(val)
+            elif kind == "exps":
+                for sub in val:
+                    go(sub)
+            elif kind == "lam":
+                go(val.body)
+            elif kind == "ctx":
+                for b in val:
+                    for arr in b.arrays:
+                        go(arr)
+
+    go(e)
+    return out
+
+
+def path_signature(
+    e: S.Exp,
+    sizes: Mapping[str, int],
+    thresholds: Mapping[str, int],
+    device=None,
+) -> tuple[tuple[str, bool], ...]:
+    """The decisions taken through every reached ParCmp guard.
+
+    Guards inside untaken branches are *not* part of the signature — their
+    thresholds are irrelevant for this dataset under this assignment.
+
+    When ``device`` is given, the §4.1 local-memory fallback is modelled:
+    a guard whose version cannot fit the device's local memory behaves as
+    false (the same rule the simulator applies), so signature-keyed caches
+    remain sound in the presence of fallbacks.
+    """
+    sig: list[tuple[str, bool]] = []
+
+    def go(x: S.Exp) -> None:
+        if isinstance(x, S.If) and isinstance(x.cond, T.ParCmp):
+            par = x.cond.par.eval(sizes)
+            t = thresholds.get(x.cond.threshold, DEFAULT_THRESHOLD)
+            taken = par >= t
+            if taken and device is not None:
+                from repro.gpu.cost import intra_local_demand
+
+                if intra_local_demand(x.then, sizes) > device.local_mem:
+                    taken = False
+            sig.append((x.cond.threshold, taken))
+            go(x.then if taken else x.els)
+            return
+        for attr, kind in _spec(x):
+            val = getattr(x, attr)
+            if kind == "exp":
+                go(val)
+            elif kind == "exps":
+                for sub in val:
+                    go(sub)
+            elif kind == "lam":
+                go(val.body)
+            elif kind == "ctx":
+                for b in val:
+                    for arr in b.arrays:
+                        go(arr)
+
+    go(e)
+    return tuple(sig)

@@ -1,0 +1,78 @@
+"""Table 1 and dataset-registry tests: values exactly as published."""
+
+from repro.bench.datasets import FIG2_SWEEP, TABLE1, table1_sizes
+from repro.bench.programs.locvolcalib import DATASETS as LVC
+
+
+class TestTable1:
+    def test_all_eight_benchmarks(self):
+        assert set(TABLE1) == {
+            "Heston",
+            "OptionPricing",
+            "Backprop",
+            "LavaMD",
+            "NW",
+            "NN",
+            "SRAD",
+            "Pathfinder",
+        }
+
+    def test_heston(self):
+        assert table1_sizes("Heston", "D1")["numQuotes"] == 1062
+        assert table1_sizes("Heston", "D2")["numQuotes"] == 10000
+
+    def test_optionpricing(self):
+        d1 = table1_sizes("OptionPricing", "D1")
+        assert d1["numMC"] == 1048576 and d1["numDates"] == 5
+        d2 = table1_sizes("OptionPricing", "D2")
+        assert d2["numMC"] == 500 and d2["numDates"] == 367
+
+    def test_backprop(self):
+        assert table1_sizes("Backprop", "D1")["numIn"] == 2**14
+        assert table1_sizes("Backprop", "D2")["numIn"] == 2**20
+
+    def test_lavamd(self):
+        assert table1_sizes("LavaMD", "D1")["numBoxes"] == 10**3
+        assert table1_sizes("LavaMD", "D2")["numBoxes"] == 3**3
+        assert table1_sizes("LavaMD", "D1")["perBox"] == 50
+
+    def test_nw(self):
+        d1 = table1_sizes("NW", "D1")
+        assert d1["nb"] * d1["B"] == 2048
+        d2 = table1_sizes("NW", "D2")
+        assert d2["nb"] * d2["B"] == 1024
+
+    def test_nn(self):
+        d1 = table1_sizes("NN", "D1")
+        assert (d1["numB"], d1["numP"]) == (1, 855280)
+        d2 = table1_sizes("NN", "D2")
+        assert (d2["numB"], d2["numP"]) == (4096, 128)
+
+    def test_srad(self):
+        d1 = table1_sizes("SRAD", "D1")
+        assert (d1["numB"], d1["H"], d1["W"]) == (1, 502, 458)
+        d2 = table1_sizes("SRAD", "D2")
+        assert (d2["numB"], d2["H"], d2["W"]) == (1024, 16, 16)
+
+    def test_pathfinder(self):
+        d1 = table1_sizes("Pathfinder", "D1")
+        assert (d1["numB"], d1["rows"], d1["cols"]) == (1, 100, 10**5)
+        d2 = table1_sizes("Pathfinder", "D2")
+        assert (d2["numB"], d2["rows"], d2["cols"]) == (391, 100, 256)
+
+    def test_descriptions_present(self):
+        for bench, d in TABLE1.items():
+            assert set(d) == {"D1", "D2"}
+
+
+class TestOtherDatasets:
+    def test_locvolcalib_paper_values(self):
+        assert LVC["small"] == dict(numS=16, numT=256, numX=32, numY=256)
+        assert LVC["medium"] == dict(numS=128, numT=64, numX=256, numY=32)
+        assert LVC["large"] == dict(numS=256, numT=64, numX=256, numY=256)
+
+    def test_fig2_constant_work(self):
+        for k, sweep in FIG2_SWEEP.items():
+            for e, sizes in sweep:
+                assert sizes["n"] == 2**e
+                assert sizes["n"] * sizes["n"] * sizes["m"] == 2**k

@@ -1,0 +1,58 @@
+"""ASCII plotting tests."""
+
+from repro.bench.plotting import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        out = line_chart(
+            {"MF": [10.0, 1.0], "IF": [2.0, 2.0]},
+            ["0", "1"],
+            title="t",
+        )
+        assert "A=MF" in out and "B=IF" in out
+        assert "t" in out.splitlines()[0]
+
+    def test_log_scale_spans_decades(self):
+        out = line_chart({"s": [0.001, 1000.0]}, ["0", "1"], height=10)
+        assert "log10" in out
+
+    def test_linear_scale(self):
+        out = line_chart({"s": [1.0, 2.0]}, ["0", "1"], log_y=False)
+        assert "linear" in out
+
+    def test_extremes_at_edges(self):
+        out = line_chart({"s": [1.0, 100.0]}, ["0", "1"], height=8)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "A" in rows[0].split("|")[1]  # max on the top row
+        assert "A" in rows[-1].split("|")[1]  # min on the bottom row
+
+    def test_empty_data(self):
+        assert "no data" in line_chart({"s": []}, [])
+
+    def test_zero_values_skipped_on_log(self):
+        out = line_chart({"s": [0.0, 1.0]}, ["0", "1"])
+        assert out  # must not crash on log(0)
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        out = bar_chart([("a", 4.0), ("b", 2.0)], width=8)
+        lines = out.splitlines()
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_values_printed(self):
+        out = bar_chart([("x", 3.14)])
+        assert "3.14" in out
+
+    def test_reference_marker(self):
+        out = bar_chart([("slow", 0.5), ("fast", 4.0)], width=20, reference=1.0)
+        assert "|" in out.splitlines()[0]  # sub-reference bar shows the line
+
+    def test_labels_aligned(self):
+        out = bar_chart([("long-name", 1.0), ("x", 1.0)])
+        lines = out.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_empty(self):
+        assert "no data" in bar_chart([])

@@ -1,0 +1,188 @@
+"""Per-benchmark program checks: typing, numpy-oracle agreement, and the
+parallel structures the paper attributes to each benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_program
+from repro.interp import run_program
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.traverse import walk
+from repro.ir.types import ArrayType
+
+from repro.bench.programs.backprop import *  # noqa: F401,F403
+from repro.bench.programs.backprop import backprop_inputs, backprop_program, backprop_reference
+from repro.bench.programs.heston import heston_inputs, heston_program, heston_reference
+from repro.bench.programs.lavamd import lavamd_inputs, lavamd_program, lavamd_reference
+from repro.bench.programs.locvolcalib import (
+    locvolcalib_inputs,
+    locvolcalib_program,
+    locvolcalib_reference,
+)
+from repro.bench.programs.matmul import matmul_program, matmul_sizes
+from repro.bench.programs.nn import nn_inputs, nn_program, nn_reference
+from repro.bench.programs.nw import nw_inputs, nw_program, nw_reference
+from repro.bench.programs.optionpricing import (
+    optionpricing_inputs,
+    optionpricing_program,
+    optionpricing_reference,
+)
+from repro.bench.programs.pathfinder import (
+    pathfinder_inputs,
+    pathfinder_program,
+    pathfinder_reference,
+)
+from repro.bench.programs.srad import srad_inputs, srad_program, srad_reference
+
+ALL_PROGRAMS = {
+    "matmul": matmul_program,
+    "locvolcalib": locvolcalib_program,
+    "optionpricing": optionpricing_program,
+    "heston": heston_program,
+    "backprop": backprop_program,
+    "lavamd": lavamd_program,
+    "nn": nn_program,
+    "nw": nw_program,
+    "srad": srad_program,
+    "pathfinder": pathfinder_program,
+}
+
+
+@pytest.mark.parametrize("name", list(ALL_PROGRAMS))
+def test_typechecks(name):
+    prog = ALL_PROGRAMS[name]()
+    ts = prog.check()
+    assert len(ts) >= 1
+
+
+@pytest.mark.parametrize("name", list(ALL_PROGRAMS))
+@pytest.mark.parametrize("mode", ("moderate", "incremental", "full"))
+def test_compiles_and_validates(name, mode):
+    cp = compile_program(ALL_PROGRAMS[name](), mode)
+    cp.check()
+    assert cp.code_size() > 0
+
+
+@pytest.mark.parametrize("name", list(ALL_PROGRAMS))
+def test_incremental_has_versions_where_nested(name):
+    cp = compile_program(ALL_PROGRAMS[name](), "incremental")
+    # all the paper's benchmarks exhibit nested parallelism, so incremental
+    # flattening must introduce at least one guarded version
+    assert len(cp.registry) >= 1
+
+
+class TestNumpyOracles:
+    """Small-size agreement between the interpreter and the per-benchmark
+    direct numpy implementation (the transcription check)."""
+
+    def test_matmul(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((3, 5)).astype(np.float32)
+        B = rng.standard_normal((5, 3)).astype(np.float32)
+        (out,) = run_program(matmul_program(), {"xss": A, "yss": B})
+        assert np.allclose(out, A @ B, rtol=1e-5)
+
+    def test_locvolcalib(self):
+        sz = dict(numS=2, numX=3, numY=4, numT=2)
+        inp = locvolcalib_inputs(sz)
+        ref = locvolcalib_reference(inp)
+        got = run_program(locvolcalib_program(), inp, sizes=sz)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-5)
+
+    def test_optionpricing(self):
+        sz = dict(numMC=5, numDates=3, numUnd=3, numDim=9, numBits=4)
+        inp = optionpricing_inputs(sz)
+        ref = optionpricing_reference(inp, sz)
+        (got,) = run_program(optionpricing_program(), inp, sizes=sz)
+        assert np.allclose(ref, got, rtol=1e-5)
+
+    def test_heston(self):
+        sz = dict(numCand=3, numQuotes=4, numInt=5)
+        inp = heston_inputs(sz)
+        (got,) = run_program(heston_program(), inp, sizes=sz)
+        assert np.allclose(heston_reference(inp), got, rtol=1e-5)
+
+    def test_backprop(self):
+        sz = dict(numIn=5, numHidden=3)
+        inp = backprop_inputs(sz)
+        (got,) = run_program(backprop_program(), inp, sizes=sz)
+        assert np.allclose(backprop_reference(inp), got, rtol=1e-5)
+
+    def test_lavamd(self):
+        sz = dict(numBoxes=3, perBox=4, numNbr=2)
+        inp = lavamd_inputs(sz)
+        (got,) = run_program(lavamd_program(), inp, sizes=sz)
+        assert np.allclose(lavamd_reference(inp), got, rtol=1e-5)
+
+    def test_nn(self):
+        sz = dict(numB=3, numP=6)
+        inp = nn_inputs(sz)
+        (got,) = run_program(nn_program(), inp, sizes=sz)
+        assert np.allclose(nn_reference(inp), got, rtol=1e-5)
+
+    def test_srad(self):
+        sz = dict(numB=2, H=4, W=5, numIter=2)
+        inp = srad_inputs(sz)
+        (got,) = run_program(srad_program(), inp, sizes=sz)
+        assert np.allclose(srad_reference(inp), got, rtol=1e-4)
+
+    def test_pathfinder(self):
+        sz = dict(numB=2, rows=4, cols=6)
+        inp = pathfinder_inputs(sz)
+        (got,) = run_program(pathfinder_program(), inp, sizes=sz)
+        assert np.allclose(pathfinder_reference(inp), got, rtol=1e-5)
+
+    def test_nw(self):
+        sz = dict(nb=3, B=4, numWaves=5)
+        inp = nw_inputs(sz)
+        got = run_program(nw_program(), inp, sizes=sz)
+        ref = nw_reference(inp, sz)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-5)
+
+
+class TestStructuralClaims:
+    """The structures §5.3 attributes to each benchmark."""
+
+    def test_heston_three_layers(self):
+        # "an outer map, which contains a redomap, which contains a reduce"
+        body = heston_program().body
+        maps = [n for n in walk(body) if isinstance(n, S.Map)]
+        redos = [n for n in walk(body) if isinstance(n, (S.Redomap, S.Reduce))]
+        assert maps and len(redos) >= 1
+
+    def test_optionpricing_layers(self):
+        # several layers: outer MC map, sobol map/redomap, date loop
+        body = optionpricing_program().body
+        assert any(isinstance(n, S.Loop) for n in walk(body))
+        assert sum(isinstance(n, S.Map) for n in walk(body)) >= 2
+
+    def test_backprop_unfused_map_reduce(self):
+        # the source keeps map and reduce separate so fusion is optional
+        body = backprop_program().body
+        assert any(isinstance(n, S.Reduce) for n in walk(body))
+        assert not any(isinstance(n, S.Redomap) for n in walk(body))
+
+    def test_backprop_fusion_changes_code(self):
+        fused = compile_program(backprop_program(), "moderate", do_fuse=True)
+        unfused = compile_program(backprop_program(), "moderate", do_fuse=False)
+        from repro.ir.pretty import pretty
+
+        assert pretty(fused.body) != pretty(unfused.body)
+
+    def test_lavamd_loop_of_redomap(self):
+        body = lavamd_program().body
+        loops = [n for n in walk(body) if isinstance(n, S.Loop)]
+        assert loops
+        assert any(isinstance(n, S.Redomap) for n in walk(loops[0].body))
+
+    def test_nw_scan_based_blocks(self):
+        body = nw_program().body
+        assert any(isinstance(n, S.Scanomap) for n in walk(body))
+
+    def test_matmul_result_square(self):
+        (t,) = matmul_program().check()
+        assert isinstance(t, ArrayType)
+        assert str(t) == "[n][n]f32"

@@ -1,0 +1,105 @@
+"""Tests of the hand-written reference models and forced-path helpers."""
+
+import pytest
+
+from repro.bench import references as refs
+from repro.bench.programs.locvolcalib import locvolcalib_sizes
+from repro.bench.programs.matmul import matmul_program
+from repro.bench.programs.nn import nn_sizes
+from repro.bench.programs.nw import nw_sizes
+from repro.bench.programs.optionpricing import optionpricing_program, optionpricing_sizes
+from repro.bench.programs.pathfinder import pathfinder_sizes
+from repro.compiler import compile_program
+from repro.gpu import K40, VEGA64
+from repro.tuning import path_signature
+
+
+class TestForceThresholds:
+    def test_top_forces_first_guard(self):
+        cp = compile_program(matmul_program(), "incremental")
+        th = refs.force_thresholds(cp, "top")
+        sig = path_signature(cp.body, {"n": 64, "m": 64}, th, device=K40)
+        assert sig[0][1] is True  # first guard taken
+
+    def test_flat_forces_all_false(self):
+        cp = compile_program(matmul_program(), "incremental")
+        th = refs.force_thresholds(cp, "flat")
+        sig = path_signature(cp.body, {"n": 64, "m": 64}, th, device=K40)
+        assert all(not taken for _, taken in sig)
+
+    def test_middle_mixes(self):
+        cp = compile_program(matmul_program(), "incremental")
+        th = refs.force_thresholds(cp, "middle")
+        for t in cp.registry.items:
+            expected = 1 if t.kind == "suff_intra_par" else 2**30
+            assert th[t.name] == expected
+
+    def test_unknown_choice(self):
+        cp = compile_program(matmul_program(), "incremental")
+        with pytest.raises(ValueError):
+            refs.force_thresholds(cp, "sideways")
+
+
+class TestFinPar:
+    def test_out_scales_with_work(self):
+        small = refs.finpar_out_time(locvolcalib_sizes("small"), K40)
+        large = refs.finpar_out_time(locvolcalib_sizes("large"), K40)
+        assert large > small
+
+    def test_all_scales_with_work(self):
+        small = refs.finpar_all_time(locvolcalib_sizes("small"), K40)
+        large = refs.finpar_all_time(locvolcalib_sizes("large"), K40)
+        assert large > small
+
+    def test_portability_flip_on_large(self):
+        """The §5.2 headline: Out wins on K40, All wins on Vega 64."""
+        s = locvolcalib_sizes("large")
+        assert refs.finpar_out_time(s, K40) < refs.finpar_all_time(s, K40)
+        assert refs.finpar_all_time(s, VEGA64) < refs.finpar_out_time(s, VEGA64)
+
+    def test_all_wins_small_everywhere(self):
+        """Small dataset: outer parallelism is insufficient for Out."""
+        s = locvolcalib_sizes("small")
+        for dev in (K40, VEGA64):
+            assert refs.finpar_all_time(s, dev) < refs.finpar_out_time(s, dev)
+
+
+class TestRodiniaModels:
+    def test_nn_dominated_by_transfer(self):
+        s = nn_sizes("D1")
+        t = refs.nn_reference_time(s, K40)
+        transfer = s["numB"] * s["numP"] * 4.0 / K40.host_bw
+        assert t > transfer * 0.5  # the PCIe transfer is the story
+
+    def test_backprop_cpu_reduce_dominates_large(self):
+        d1 = refs.backprop_reference_time(dict(numIn=2**14, numHidden=16), K40)
+        d2 = refs.backprop_reference_time(dict(numIn=2**20, numHidden=16), K40)
+        assert d2 > d1 * 20  # transfer grows linearly with numIn
+
+    def test_nw_scales_with_waves(self):
+        d1 = refs.nw_reference_time(nw_sizes("D1"), K40)
+        d2 = refs.nw_reference_time(nw_sizes("D2"), K40)
+        assert d1 > d2  # more waves, more blocks
+
+    def test_pathfinder_overhead_applied(self):
+        s = pathfinder_sizes("D1")
+        t = refs.pathfinder_reference_time(s, K40)
+        assert t > 0
+
+    def test_optionpricing_forced_top(self):
+        cp = compile_program(optionpricing_program(), "incremental")
+        s = optionpricing_sizes("D2")
+        ref = refs.optionpricing_reference_time(cp, s, K40)
+        best = cp.simulate(s, K40).time
+        assert ref > best  # outer-only loses where inner layers matter
+
+    def test_srad_uses_flat_path(self):
+        from repro.bench.programs.srad import srad_program, srad_sizes
+
+        cp = compile_program(srad_program(), "incremental")
+        s = srad_sizes("D1")
+        t = refs.srad_reference_time(cp, s, K40)
+        flat = cp.simulate(
+            s, K40, thresholds=refs.force_thresholds(cp, "flat")
+        ).time
+        assert t == pytest.approx(flat * refs.HAND_TUNING_MARGIN)

@@ -1,0 +1,186 @@
+"""Fast end-to-end sanity of the experiment pipelines, asserting the
+paper's qualitative claims on reduced configurations."""
+
+import pytest
+
+from repro.bench.baselines import vendor_matmul_time
+from repro.bench.runner import (
+    BULK_BENCHMARKS,
+    code_expansion_rows,
+    fig2_rows,
+    fig7_rows,
+    fig8_rows,
+    fullflat_rows,
+)
+from repro.gpu import K40, VEGA64
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_rows(K40, k_eval=25, k_train=20)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_rows()
+
+
+@pytest.fixture(scope="module")
+def fig8_subset():
+    return fig8_rows(benchmarks=("OptionPricing", "Backprop", "NN", "LavaMD"))
+
+
+class TestFig2:
+    def test_moderate_monotone_decreasing_then_flat(self, fig2):
+        # MF improves (or holds) as outer parallelism grows
+        for a, b in zip(fig2, fig2[1:]):
+            assert b.moderate <= a.moderate * 1.05
+
+    def test_tuned_tracks_lower_envelope(self, fig2):
+        for r in fig2:
+            envelope = min(r.moderate, max(r.incremental, 1e-12))
+            assert r.tuned <= envelope * 1.7
+
+    def test_tuned_beats_moderate_at_degenerate(self, fig2):
+        assert fig2[0].tuned < fig2[0].moderate / 50
+
+    def test_tuned_close_to_moderate_at_large(self, fig2):
+        assert fig2[-1].tuned <= fig2[-1].moderate * 1.1
+
+    def test_vendor_wins_large(self, fig2):
+        # "cuBLAS ... is 2-3x faster on n=7..10" (we accept 2-8x)
+        for r in fig2[7:]:
+            assert 1.5 <= r.tuned / r.vendor <= 10
+
+    def test_vendor_suboptimal_degenerate(self, fig2):
+        # "suboptimal performance on a class of (degenerate) datasets (n<3)"
+        for r in fig2[:2]:
+            assert r.vendor > r.tuned
+
+    def test_constant_work(self, fig2):
+        for r in fig2:
+            assert r.n * r.n * r.m == 2**25
+
+
+class TestFig7:
+    def test_aif_always_beats_moderate(self, fig7):
+        for r in fig7:
+            assert r.tuned <= r.moderate, f"{r.device}/{r.dataset}"
+
+    def test_aif_at_least_as_good_as_if(self, fig7):
+        for r in fig7:
+            assert r.tuned <= r.incremental * 1.0001
+
+    def test_speedups_significant(self, fig7):
+        # the paper reports large AIF speedups on every dataset
+        for r in fig7:
+            assert r.speedups()["AIF"] >= 1.5
+
+    def test_performance_portability_of_references(self, fig7):
+        """§5.2: 'FinPar-Out wins on K40 but loses on Vega 64' (large)."""
+        k40 = {r.dataset: r for r in fig7 if r.device == "K40"}
+        vega = {r.dataset: r for r in fig7 if r.device == "Vega64"}
+        assert k40["large"].finpar_out < k40["large"].finpar_all
+        assert vega["large"].finpar_all < vega["large"].finpar_out
+
+    def test_finpar_all_close_to_aif_on_vega(self, fig7):
+        """§5.2: on Vega, AIF is slightly slower than FinPar-All."""
+        for r in fig7:
+            if r.device == "Vega64":
+                assert r.finpar_all <= r.tuned * 1.2
+
+
+class TestFig8:
+    def test_aif_never_loses_to_moderate(self, fig8_subset):
+        for r in fig8_subset:
+            assert r.tuned <= r.moderate * 1.01, f"{r.benchmark}/{r.dataset}"
+
+    def test_optionpricing_reference_slow_on_d2(self, fig8_subset):
+        """§5.3: 'The reference utilizes only the outer parallelism, which
+        explains the slowdown on D2.'"""
+        rows = [
+            r for r in fig8_subset
+            if r.benchmark == "OptionPricing" and r.dataset == "D2"
+        ]
+        for r in rows:
+            assert r.reference > r.tuned
+
+    def test_backprop_reference_slow(self, fig8_subset):
+        """§5.3: Rodinia backprop loses due to its CPU reduce."""
+        rows = [r for r in fig8_subset if r.benchmark == "Backprop"]
+        for r in rows:
+            assert r.reference > r.tuned
+
+    def test_lavamd_d2_aif_wins(self, fig8_subset):
+        """§5.3: 'On D2, AIF wins because it also parallelizes the inner
+        redomap (at workgroup level).'"""
+        rows = [
+            r for r in fig8_subset
+            if r.benchmark == "LavaMD" and r.dataset == "D2"
+        ]
+        for r in rows:
+            assert r.speedups()["AIF"] > 2
+            assert r.tuned < r.reference
+
+    def test_lavamd_d1_reference_competitive(self, fig8_subset):
+        """On D1 the two-outer-level strategy is optimal; Rodinia ≈ AIF."""
+        rows = [
+            r for r in fig8_subset
+            if r.benchmark == "LavaMD" and r.dataset == "D1"
+        ]
+        for r in rows:
+            assert 0.3 <= r.tuned / r.reference <= 3
+
+    def test_nn_reference_poor(self, fig8_subset):
+        """§5.3: Rodinia NN's reduce on the CPU makes it slow."""
+        rows = [
+            r for r in fig8_subset
+            if r.benchmark == "NN" and r.reference is not None
+        ]
+        for r in rows:
+            assert r.reference > r.tuned
+
+
+class TestFullFlattening:
+    def test_fullflat_typically_within_2x(self):
+        """§5.3: full flattening 'typically slower within a factor 2 of
+        untuned incremental flattening', OptionPricing an order of
+        magnitude (on the dataset with excess redundant parallelism)."""
+        rows = fullflat_rows(K40)
+        ratios = {(b, d): r for b, d, r in rows}
+        within2 = sum(1 for r in ratios.values() if r <= 2.5)
+        assert within2 >= len(ratios) * 0.5
+        # OptionPricing pays heavily for exploiting redundant nested
+        # parallelism; our simplified kernel shows the effect at a smaller
+        # factor than the paper's >10x (see EXPERIMENTS.md)
+        assert ratios[("OptionPricing", "D2")] > 2
+        assert max(ratios.values()) > 3
+
+
+class TestCodeExpansion:
+    def test_sec51_ratios(self):
+        """§5.1: 'IF ... generates 3× larger binaries than MF' (on average,
+        at most ~4× per the abstract's 'as high as four times')."""
+        rows = code_expansion_rows()
+        size_ratios = [r[2] for r in rows]
+        avg = sum(size_ratios) / len(size_ratios)
+        assert 1.5 <= avg <= 8
+        assert all(s >= 1 for s in size_ratios)
+        # generated pseudo-OpenCL LOC: the closest binary-size analogue
+        loc_ratios = [r[3] for r in rows]
+        assert all(l >= 1 for l in loc_ratios)
+
+
+class TestVendorBaseline:
+    def test_more_work_costs_more(self):
+        a = vendor_matmul_time(1024, 1024, K40)
+        b = vendor_matmul_time(2048, 2048, K40)
+        assert b > a
+
+    def test_devices_differ(self):
+        a = vendor_matmul_time(1024, 1024, K40)
+        b = vendor_matmul_time(1024, 1024, VEGA64)
+        assert a != b
+
+    def test_dispatch_floor(self):
+        assert vendor_matmul_time(1, 1, K40) >= 10e-6

@@ -1,0 +1,291 @@
+"""Edge cases of the flattening engine beyond the per-rule tests."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_program
+from repro.flatten import Flattener
+from repro.interp import Evaluator, run_program
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.builder import (
+    Program,
+    f32,
+    i64,
+    if_,
+    let_,
+    loop_,
+    map_,
+    op2,
+    redomap_,
+    reduce_,
+    scan_,
+    scanomap_,
+    v,
+)
+from repro.ir.traverse import walk
+from repro.ir.typecheck import validate_levels
+from repro.ir.types import BOOL, F32, array_of
+from repro.passes import normalize, simplify
+from repro.sizes import SizeVar
+
+N, M, K = SizeVar("n"), SizeVar("m"), SizeVar("k")
+
+
+def compile_body(e, env, mode="incremental"):
+    fl = Flattener(mode)
+    out = simplify(fl.flatten(simplify(normalize(e)), env))
+    validate_levels(out, 1)
+    return out, fl
+
+
+def find(e, cls):
+    return [x for x in walk(e) if isinstance(x, cls)]
+
+
+def check_equiv(prog, inputs, sizes=None, modes=("moderate", "incremental", "full")):
+    ref = run_program(prog, inputs, sizes=sizes)
+    for mode in modes:
+        cp = compile_program(prog, mode)
+        got = run_program(prog, inputs, body=cp.body, sizes=sizes)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-5), mode
+    return ref
+
+
+class TestScanomapPaths:
+    def test_mf_sequentialises_fused_scanomap(self):
+        e = map_(
+            lambda row: scanomap_(op2("+"), lambda x: x * 2.0, f32(0.0), row),
+            v("xss"),
+        )
+        out, _ = compile_body(e, {"xss": array_of(F32, N, M)}, "moderate")
+        assert isinstance(out, T.SegMap)
+        assert isinstance(out.body, S.Scanomap)
+
+    def test_if_parallelises_fused_scanomap(self):
+        e = map_(
+            lambda row: scanomap_(op2("+"), lambda x: x * 2.0, f32(0.0), row),
+            v("xss"),
+        )
+        out, fl = compile_body(e, {"xss": array_of(F32, N, M)}, "incremental")
+        # three versions exist; the flat one is a segscan over both dims
+        scans = [s for s in find(out, T.SegScan) if len(s.ctx) == 2]
+        assert scans
+
+    def test_scanomap_with_inner_parallelism_decomposes(self):
+        n3 = {"xsss": array_of(F32, N, M, K)}
+        e = map_(
+            lambda mat: scanomap_(
+                op2("+"),
+                lambda row: reduce_(op2("+"), f32(0.0), row),
+                f32(0.0),
+                mat,
+            ),
+            v("xsss"),
+        )
+        out, _ = compile_body(e, n3, "full")
+        # decomposed: some segred for the map part, a segscan for the scan
+        assert find(out, T.SegRed) and find(out, T.SegScan)
+
+    def test_scanomap_semantics_all_modes(self):
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, N, M))],
+            map_(
+                lambda row: scanomap_(op2("+"), lambda x: x + 1.0, f32(0.0), row),
+                v("xss"),
+            ),
+        )
+        rng = np.random.default_rng(0)
+        check_equiv(prog, {"xss": rng.standard_normal((3, 4)).astype(np.float32)})
+
+
+class TestMultiOutput:
+    def test_multi_output_map_through_g3(self):
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, N, M))],
+            map_(
+                lambda row: (
+                    reduce_(op2("+"), f32(0.0), row),
+                    reduce_(op2("max"), f32(-1e9), row),
+                ),
+                v("xss"),
+            ),
+        )
+        rng = np.random.default_rng(1)
+        check_equiv(prog, {"xss": rng.standard_normal((4, 3)).astype(np.float32)})
+
+    def test_multi_output_loop_interchange(self):
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, N, M))],
+            map_(
+                lambda row: loop_(
+                    [row, f32(0.0)],
+                    i64(3),
+                    lambda i, cur, acc: (
+                        map_(lambda x: x * 0.5, cur),
+                        acc + reduce_(op2("+"), f32(0.0), cur),
+                    ),
+                ),
+                v("xss"),
+            ),
+        )
+        rng = np.random.default_rng(2)
+        check_equiv(prog, {"xss": rng.standard_normal((3, 4)).astype(np.float32)})
+
+
+class TestDeepContexts:
+    def test_three_level_distribution(self):
+        prog = Program(
+            "p",
+            [("xsss", array_of(F32, N, M, K))],
+            map_(
+                lambda mat: map_(
+                    lambda row: let_(
+                        scan_(op2("+"), f32(0.0), row),
+                        lambda bs: scan_(op2("max"), f32(-1e9), bs),
+                    ),
+                    mat,
+                ),
+                v("xsss"),
+            ),
+        )
+        rng = np.random.default_rng(3)
+        check_equiv(
+            prog, {"xsss": rng.standard_normal((2, 3, 4)).astype(np.float32)}
+        )
+        # the moderate code distributes into two 3-deep segscans
+        mf = compile_program(prog, "moderate")
+        scans = [s for s in find(mf.body, T.SegScan) if len(s.ctx) == 3]
+        assert len(scans) == 2
+
+    def test_nested_loops_interchange_once(self):
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, N, M))],
+            map_(
+                lambda row: loop_(
+                    [row],
+                    i64(2),
+                    lambda i, cur: loop_(
+                        [cur], i64(2), lambda j, c2: map_(lambda x: x + 1.0, c2)
+                    ),
+                ),
+                v("xss"),
+            ),
+        )
+        rng = np.random.default_rng(4)
+        check_equiv(prog, {"xss": rng.standard_normal((2, 3)).astype(np.float32)})
+
+
+class TestTopLevelConstructs:
+    def test_if_at_top_level_both_branches_flattened(self):
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, N, M)), ("flag", BOOL)],
+            if_(
+                v("flag"),
+                map_(lambda r: reduce_(op2("+"), f32(0.0), r), v("xss")),
+                map_(lambda r: reduce_(op2("max"), f32(-1e9), r), v("xss")),
+            ),
+        )
+        rng = np.random.default_rng(5)
+        xss = rng.standard_normal((3, 4)).astype(np.float32)
+        for flag in (True, False):
+            check_equiv(prog, {"xss": xss, "flag": flag})
+        cp = compile_program(prog, "moderate")
+        assert isinstance(cp.body, S.If)
+        assert find(cp.body.then, T.SegOp) and find(cp.body.els, T.SegOp)
+
+    def test_top_level_loop_without_context(self):
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, N))],
+            loop_([v("xs")], i64(3), lambda i, cur: map_(lambda x: x * 2.0, cur)),
+        )
+        rng = np.random.default_rng(6)
+        check_equiv(prog, {"xs": rng.standard_normal(4).astype(np.float32)})
+        cp = compile_program(prog, "moderate")
+        assert isinstance(cp.body, S.Loop)
+
+    def test_sequenced_parallel_lets_at_top(self):
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, N))],
+            let_(
+                map_(lambda x: x * 2.0, v("xs")),
+                lambda ys: let_(
+                    reduce_(op2("+"), f32(0.0), ys),
+                    lambda s: map_(lambda y: y + s, ys),
+                ),
+            ),
+        )
+        rng = np.random.default_rng(7)
+        check_equiv(prog, {"xs": rng.standard_normal(5).astype(np.float32)})
+
+
+class TestG9Depth:
+    def test_g9_inside_g3(self):
+        """Heston's structure: map of redomap-of-reduce gets both G3 and G9
+        guards; the deepest version parallelises the innermost reduce."""
+        prog = Program(
+            "p",
+            [("xsss", array_of(F32, N, M, K))],
+            map_(
+                lambda mat: redomap_(
+                    op2("+"),
+                    lambda row: reduce_(op2("+"), f32(0.0), row),
+                    f32(0.0),
+                    mat,
+                ),
+                v("xsss"),
+            ),
+        )
+        cp = compile_program(prog, "incremental")
+        kinds = [t.kind for t in cp.registry.items]
+        assert "suff_outer_par" in kinds and "suff_intra_par" in kinds
+        assert len(cp.registry) >= 3
+        rng = np.random.default_rng(8)
+        check_equiv(
+            prog, {"xsss": rng.standard_normal((2, 3, 4)).astype(np.float32)}
+        )
+
+    def test_vector_reduce_without_g4_pattern(self):
+        """A reduce over rows with a non-map operator body manifests
+        sequentially rather than crashing."""
+        op = S.Lambda(
+            ("a", "b"),
+            S.Map(
+                S.Lambda(("x", "y"), S.BinOp("max", S.Var("x"), S.Var("y"))),
+                (S.Var("b"), S.Var("a")),  # swapped: not the G4 pattern
+            ),
+        )
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, N, M))],
+            S.Reduce(op, [S.Replicate(S.SizeE("m"), f32(-1e9))], (v("xss"),)),
+        )
+        rng = np.random.default_rng(9)
+        xss = rng.standard_normal((3, 4)).astype(np.float32)
+        ref = run_program(prog, {"xss": xss})
+        cp = compile_program(prog, "moderate")
+        got = run_program(prog, {"xss": xss}, body=cp.body)
+        assert np.allclose(ref[0], got[0])
+
+
+class TestContextArrayExpressions:
+    def test_transposed_binding_array(self):
+        """matmul's inner map draws from `transpose yss` — a non-variable
+        context array — through every mode."""
+        prog = Program(
+            "p",
+            [("yss", array_of(F32, M, N))],
+            map_(lambda col: reduce_(op2("+"), f32(0.0), col), S.transpose(v("yss"))),
+        )
+        rng = np.random.default_rng(10)
+        yss = rng.standard_normal((3, 4)).astype(np.float32)
+        ref = check_equiv(prog, {"yss": yss})
+        assert np.allclose(ref[0], yss.sum(axis=0))

@@ -1,0 +1,194 @@
+"""Semantic equivalence of flattening, across all modes and threshold paths.
+
+This is the central correctness property (the paper proves type
+preservation; we test behavioural preservation): for every benchmark
+program and every flattening mode, the flattened program computes exactly
+what the source program computes — and for incremental flattening this must
+hold under *every* threshold assignment, since all versions are supposed to
+be semantically equivalent (§3.2).
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_program
+from repro.interp import run_program
+from repro.ir.builder import Program, f32, map_, op2, redomap_, reduce_, scan_, v
+from repro.ir.types import F32, array_of
+from repro.sizes import SizeVar
+
+from repro.bench.programs.backprop import backprop_inputs, backprop_program
+from repro.bench.programs.heston import heston_inputs, heston_program
+from repro.bench.programs.lavamd import lavamd_inputs, lavamd_program
+from repro.bench.programs.locvolcalib import locvolcalib_inputs, locvolcalib_program
+from repro.bench.programs.matmul import matmul_program
+from repro.bench.programs.nn import nn_inputs, nn_program
+from repro.bench.programs.nw import nw_inputs, nw_program
+from repro.bench.programs.optionpricing import (
+    optionpricing_inputs,
+    optionpricing_program,
+)
+from repro.bench.programs.pathfinder import pathfinder_inputs, pathfinder_program
+from repro.bench.programs.srad import srad_inputs, srad_program
+
+MODES = ("moderate", "incremental", "full")
+
+
+def _matmul_inputs(sizes, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "xss": rng.standard_normal((sizes["n"], sizes["m"])).astype(np.float32),
+        "yss": rng.standard_normal((sizes["m"], sizes["n"])).astype(np.float32),
+    }
+
+
+CASES = {
+    "matmul": (matmul_program, _matmul_inputs, dict(n=3, m=4)),
+    "locvolcalib": (
+        locvolcalib_program,
+        locvolcalib_inputs,
+        dict(numS=2, numX=3, numY=4, numT=2),
+    ),
+    "optionpricing": (
+        optionpricing_program,
+        optionpricing_inputs,
+        dict(numMC=5, numDates=2, numUnd=3, numDim=6, numBits=4),
+    ),
+    "heston": (heston_program, heston_inputs, dict(numCand=3, numQuotes=4, numInt=5)),
+    "backprop": (backprop_program, backprop_inputs, dict(numIn=6, numHidden=3)),
+    "lavamd": (lavamd_program, lavamd_inputs, dict(numBoxes=3, perBox=4, numNbr=2)),
+    "nn": (nn_program, nn_inputs, dict(numB=3, numP=5)),
+    "srad": (srad_program, srad_inputs, dict(numB=2, H=4, W=3, numIter=2)),
+    "pathfinder": (pathfinder_program, pathfinder_inputs, dict(numB=2, rows=4, cols=5)),
+    "nw": (nw_program, nw_inputs, dict(nb=3, B=4, numWaves=3)),
+}
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """Compile every case in every mode once."""
+    out = {}
+    for name, (mk, _, _) in CASES.items():
+        prog = mk()
+        out[name] = {mode: compile_program(prog, mode) for mode in MODES}
+        out[name]["prog"] = prog
+    return out
+
+
+def _run(prog, inputs, sizes, body=None, thresholds=None):
+    return run_program(prog, inputs, body=body, sizes=sizes, thresholds=thresholds)
+
+
+@pytest.mark.parametrize("name", list(CASES))
+@pytest.mark.parametrize("mode", MODES)
+def test_mode_equivalence(compiled, name, mode):
+    _, mk_inputs, sizes = CASES[name]
+    prog = compiled[name]["prog"]
+    inputs = mk_inputs(sizes)
+    ref = _run(prog, inputs, sizes)
+    cp = compiled[name][mode]
+    got = _run(prog, inputs, sizes, body=cp.body)
+    for r, g in zip(ref, got):
+        assert np.allclose(r, g, rtol=1e-5), f"{name}/{mode} diverged"
+
+
+@pytest.mark.parametrize("name", list(CASES))
+def test_all_threshold_paths_equivalent(compiled, name):
+    """Every version combination computes the same result (paper §3.2)."""
+    _, mk_inputs, sizes = CASES[name]
+    prog = compiled[name]["prog"]
+    cp = compiled[name]["incremental"]
+    inputs = mk_inputs(sizes)
+    ref = _run(prog, inputs, sizes)
+    rng = random.Random(42)
+    names = cp.thresholds()
+    trials = min(10, max(4, 2 * len(names)))
+    for _ in range(trials):
+        th = {t: rng.choice([1, 7, 10**9]) for t in names}
+        got = _run(prog, inputs, sizes, body=cp.body, thresholds=th)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-5), f"{name} diverged under {th}"
+
+
+@pytest.mark.parametrize("name", list(CASES))
+def test_flattened_programs_validate(compiled, name):
+    for mode in MODES:
+        compiled[name][mode].check()
+
+
+@pytest.mark.parametrize("name", list(CASES))
+def test_if_code_larger_than_mf(compiled, name):
+    """Multi-versioning expands code (paper §5.1: ~3×), never shrinks it."""
+    mf = compiled[name]["moderate"].code_size()
+    if_ = compiled[name]["incremental"].code_size()
+    n_thresholds = len(compiled[name]["incremental"].registry)
+    if n_thresholds:
+        assert if_ > mf
+    else:
+        assert if_ >= mf * 0.5
+
+
+# -- randomly generated map/reduce/scan nests ----------------------------------
+
+
+@st.composite
+def random_nest_program(draw):
+    """A random rank-2 nested-parallel program over one matrix input."""
+    n, m = SizeVar("n"), SizeVar("m")
+
+    inner_kind = draw(st.sampled_from(["redomap", "scan", "map", "reduce"]))
+    op_name = draw(st.sampled_from(["+", "max"]))
+    ne = f32(0.0) if op_name == "+" else f32(-1e9)
+    scale = draw(st.floats(min_value=0.5, max_value=2.0, allow_nan=False))
+
+    def inner(row):
+        if inner_kind == "redomap":
+            return redomap_(op2(op_name), lambda x: x * scale, [ne], row)
+        if inner_kind == "scan":
+            return scan_(op2(op_name), [ne], row)
+        if inner_kind == "reduce":
+            return reduce_(op2(op_name), [ne], row)
+        return map_(lambda x: x * scale + 1.0, row)
+
+    body = map_(lambda row: inner(row), v("xss"))
+    wrap_reduce = draw(st.booleans())
+    if wrap_reduce and inner_kind in ("map", "scan"):
+        from repro.ir.builder import let_
+
+        body = let_(
+            body,
+            lambda yss: map_(
+                lambda ys: reduce_(op2("+"), f32(0.0), ys), yss
+            ),
+        )
+    prog = Program("rand", [("xss", array_of(F32, n, m))], body)
+    return prog
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    random_nest_program(),
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.integers(0, 2**31),
+)
+def test_random_nest_equivalence(prog, n, m, seed):
+    rng = np.random.default_rng(seed)
+    inputs = {"xss": rng.uniform(-3, 3, (n, m)).astype(np.float32)}
+    ref = run_program(prog, inputs)
+    for mode in MODES:
+        cp = compile_program(prog, mode)
+        got = run_program(prog, inputs, body=cp.body)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-4)
+    # incremental: random thresholds too
+    cp = compile_program(prog, "incremental")
+    rnd = random.Random(seed)
+    for _ in range(3):
+        th = {t: rnd.choice([1, 10**9]) for t in cp.thresholds()}
+        got = run_program(prog, inputs, body=cp.body, thresholds=th)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-4)

@@ -1,0 +1,130 @@
+"""Mode-level shape expectations: MF, IF and FF produce the paper's codes."""
+
+from repro.compiler import compile_program
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.traverse import walk
+
+from repro.bench.programs.heston import heston_program
+from repro.bench.programs.locvolcalib import locvolcalib_program
+from repro.bench.programs.matmul import matmul_program
+
+
+def find(e, cls):
+    return [n for n in walk(e) if isinstance(n, cls)]
+
+
+class TestMatmul:
+    """§2.2: the three matmul versions."""
+
+    def test_moderate_is_version2(self):
+        cp = compile_program(matmul_program(), "moderate")
+        out = cp.body
+        # one segmap over both map dimensions with a sequential redomap
+        assert isinstance(out, T.SegMap)
+        assert len(out.ctx) == 2
+        assert isinstance(out.body, S.Redomap)
+
+    def test_full_is_version1(self):
+        cp = compile_program(matmul_program(), "full")
+        out = cp.body
+        # fully flattened: a level-1 segred over all three dimensions
+        assert isinstance(out, T.SegRed)
+        assert out.level == 1
+        assert len(out.ctx) == 3
+
+    def test_incremental_contains_both(self):
+        cp = compile_program(matmul_program(), "incremental")
+        segmaps = [
+            s for s in find(cp.body, T.SegMap)
+            if len(s.ctx) == 2 and isinstance(s.body, S.Redomap)
+        ]
+        segreds = [s for s in find(cp.body, T.SegRed) if len(s.ctx) == 3]
+        assert segmaps, "version (2) missing from the multi-versioned code"
+        assert segreds, "version (1) missing from the multi-versioned code"
+
+    def test_incremental_guards(self):
+        cp = compile_program(matmul_program(), "incremental")
+        guards = find(cp.body, T.ParCmp)
+        assert len(guards) == 4  # outer map + inner map, two guards each
+        kinds = [t.kind for t in cp.registry.items]
+        assert kinds.count("suff_outer_par") == 2
+        assert kinds.count("suff_intra_par") == 2
+
+
+class TestLocVolCalib:
+    """§5.2 / Fig. 6c: the three LocVolCalib versions."""
+
+    def test_moderate_is_version3(self):
+        cp = compile_program(locvolcalib_program(), "moderate")
+        # loop at the top (G7 fired), all scans as level-1 segscans
+        assert isinstance(cp.body, S.Loop)
+        scans = find(cp.body, T.SegScan)
+        assert len(scans) == 6  # three per tridag batch
+        assert all(s.level == 1 and len(s.ctx) == 3 for s in scans)
+
+    def test_incremental_has_all_three_versions(self):
+        cp = compile_program(locvolcalib_program(), "incremental")
+        body = cp.body
+        # version 1: segmaps over ⟨xss⟩⟨xs⟩ with sequential scans inside
+        v1 = [
+            s for s in find(body, T.SegMap)
+            if s.level == 1 and any(isinstance(n, S.Scan) for n in walk(s.body))
+            and not find(s.body, T.SegOp)
+        ]
+        # version 2: level-1 segmaps containing level-0 segscans
+        v2 = [
+            s for s in find(body, T.SegMap)
+            if s.level == 1
+            and any(x.level == 0 for x in find(s.body, T.SegScan))
+        ]
+        # version 3: level-1 segscans with 3-deep contexts
+        v3 = [
+            s for s in find(body, T.SegScan)
+            if s.level == 1 and len(s.ctx) == 3
+        ]
+        assert v1 and v2 and v3
+
+    def test_outermost_guard_is_nums(self):
+        # Fig. 6c: "if numS > t0 then ... else loop ..."
+        cp = compile_program(locvolcalib_program(), "incremental")
+        assert isinstance(cp.body, S.If)
+        assert isinstance(cp.body.cond, T.ParCmp)
+        assert cp.body.cond.par.eval({"numS": 7}) == 7
+
+    def test_loop_under_flat_branch(self):
+        cp = compile_program(locvolcalib_program(), "incremental")
+        els = cp.body.els
+        # somewhere down the else chain the interchanged loop appears
+        assert any(isinstance(n, S.Loop) for n in walk(els))
+
+
+class TestHeston:
+    """§5.3: map⟨redomap⟨reduce⟩⟩; MF keeps only the outer map."""
+
+    def test_moderate_outer_only(self):
+        cp = compile_program(heston_program(), "moderate")
+        out = cp.body
+        assert isinstance(out, T.SegMap)
+        assert len(out.ctx) == 1
+        # everything inside is sequential
+        assert not find(out.body, T.SegOp)
+
+    def test_full_exploits_all(self):
+        cp = compile_program(heston_program(), "full")
+        # the innermost reduce is parallelised somewhere
+        reds = find(cp.body, T.SegRed)
+        assert reds
+        assert max(len(r.ctx) for r in reds) >= 2
+
+    def test_incremental_versions(self):
+        cp = compile_program(heston_program(), "incremental")
+        assert len(cp.registry) >= 3  # G3 at the map, G9 at the redomaps
+
+
+class TestDeterminism:
+    def test_compile_is_deterministic_in_structure(self):
+        a = compile_program(matmul_program(), "incremental")
+        b = compile_program(matmul_program(), "incremental")
+        assert a.code_size() == b.code_size()
+        assert a.thresholds() == b.thresholds()

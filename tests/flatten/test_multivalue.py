@@ -1,0 +1,132 @@
+"""Multi-valued (tuple-of-arrays) operations through the whole pipeline.
+
+The paper's language is explicitly tuple-of-arrays (§2's example maps and
+reduces over two arrays at once); these tests push multi-accumulator
+reductions and multi-result maps through flattening, simulation and codegen.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_opencl
+from repro.compiler import compile_program
+from repro.gpu import K40
+from repro.interp import run_program
+from repro.ir import source as S
+from repro.ir.builder import Program, f32, lam, map_, v
+from repro.ir.types import F32, array_of
+from repro.sizes import SizeVar
+
+N, M = SizeVar("n"), SizeVar("m")
+
+
+def _paper_example_program():
+    """§2's example: a two-array map feeding a two-accumulator reduce."""
+    body = S.Let(
+        ("zs1", "zs2"),
+        map_(lambda x, y: (x * 2.0, y + 3.0), v("xs"), v("ys")),
+        S.Reduce(
+            lam(lambda x1, x2, y1, y2: (x1 + y1, x2 * y2)),
+            [f32(0.0), f32(1.0)],
+            (S.Var("zs1"), S.Var("zs2")),
+        ),
+    )
+    return Program(
+        "paper2",
+        [("xs", array_of(F32, N)), ("ys", array_of(F32, N))],
+        body,
+    )
+
+
+def _mean_and_max_program():
+    """A two-accumulator redomap per row (single-pass mean & max)."""
+    body = map_(
+        lambda row: S.Redomap(
+            lam(lambda s1, m1, s2, m2: (s1 + s2, S.BinOp("max", m1, m2))),
+            lam(lambda x: (x, x)),
+            [f32(0.0), f32(-1e30)],
+            (row,),
+        ),
+        v("xss"),
+    )
+    return Program("meanmax", [("xss", array_of(F32, N, M))], body)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(0)
+    return {
+        "xs": rng.standard_normal(5).astype(np.float32),
+        "ys": rng.uniform(0.5, 2.0, 5).astype(np.float32),
+        "xss": rng.standard_normal((3, 4)).astype(np.float32),
+    }
+
+
+class TestPaperExample:
+    @pytest.mark.parametrize("mode", ("moderate", "incremental", "full"))
+    def test_equivalence(self, inputs, mode):
+        prog = _paper_example_program()
+        ref = run_program(prog, inputs)
+        cp = compile_program(prog, mode)
+        got = run_program(prog, inputs, body=cp.body)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-5)
+
+    def test_values_against_numpy(self, inputs):
+        prog = _paper_example_program()
+        outs = run_program(prog, inputs)
+        xs, ys = inputs["xs"], inputs["ys"]
+        assert np.allclose(outs[0], (xs * 2).sum(), rtol=1e-5)
+        assert np.allclose(outs[1], np.prod(ys + 3, dtype=np.float32), rtol=1e-4)
+
+    def test_simulates(self):
+        prog = _paper_example_program()
+        cp = compile_program(prog, "full")
+        rep = cp.simulate({"n": 2**18}, K40)
+        assert rep.time > 0
+        # both input arrays read
+        assert rep.total_gbytes >= 2 * 4 * 2**18
+
+
+class TestMultiAccumulator:
+    @pytest.mark.parametrize("mode", ("moderate", "incremental", "full"))
+    def test_equivalence(self, inputs, mode):
+        prog = _mean_and_max_program()
+        ref = run_program(prog, inputs)
+        cp = compile_program(prog, mode)
+        got = run_program(prog, inputs, body=cp.body)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-5)
+
+    def test_values(self, inputs):
+        prog = _mean_and_max_program()
+        outs = run_program(prog, inputs)
+        xss = inputs["xss"]
+        assert np.allclose(outs[0], xss.sum(axis=1), rtol=1e-5)
+        assert np.allclose(outs[1], xss.max(axis=1))
+
+    def test_full_mode_manifests_multivalue_segred(self):
+        from repro.ir import target as T
+        from repro.ir.traverse import walk
+
+        cp = compile_program(_mean_and_max_program(), "full")
+        segreds = [x for x in walk(cp.body) if isinstance(x, T.SegRed)]
+        assert segreds and len(segreds[0].nes) == 2
+
+    def test_random_thresholds_agree(self, inputs):
+        import random
+
+        prog = _mean_and_max_program()
+        cp = compile_program(prog, "incremental")
+        ref = run_program(prog, inputs)
+        rng = random.Random(0)
+        for _ in range(5):
+            th = {t: rng.choice([1, 10**9]) for t in cp.thresholds()}
+            got = run_program(prog, inputs, body=cp.body, thresholds=th)
+            for r, g in zip(ref, got):
+                assert np.allclose(r, g, rtol=1e-5)
+
+    def test_codegen_handles_multivalue(self):
+        cp = compile_program(_mean_and_max_program(), "incremental")
+        code = generate_opencl(cp)
+        assert code.num_kernels >= 1

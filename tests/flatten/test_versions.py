@@ -1,0 +1,111 @@
+"""Threshold registry, Par computation, and branching-tree extraction."""
+
+from repro.compiler import compile_program
+from repro.flatten import ThresholdRegistry, branching_trees, max_par, render_tree
+from repro.flatten.versions import BranchNode
+from repro.ir import target as T
+from repro.ir.builder import f32, op2, v
+from repro.sizes import SizeConst, SizeVar
+
+from repro.bench.programs.locvolcalib import locvolcalib_program
+from repro.bench.programs.matmul import matmul_program
+
+N, M = SizeVar("n"), SizeVar("m")
+
+
+class TestRegistry:
+    def test_fresh_names_sequential(self):
+        reg = ThresholdRegistry()
+        assert reg.fresh("suff_outer_par", N) == "t0"
+        assert reg.fresh("suff_intra_par", M) == "t1"
+        assert reg.names() == ["t0", "t1"]
+
+    def test_by_name(self):
+        reg = ThresholdRegistry()
+        reg.fresh("suff_outer_par", N)
+        th = reg.by_name("t0")
+        assert th.kind == "suff_outer_par" and th.par == N
+
+    def test_custom_prefix(self):
+        reg = ThresholdRegistry(prefix="main.suff_")
+        assert reg.fresh("suff_outer_par", N).startswith("main.suff_")
+
+
+class TestMaxPar:
+    def _ctx(self, size):
+        return T.Ctx([T.Binding(("x",), (v("xs"),), size)])
+
+    def test_sequential_is_one(self):
+        assert max_par(v("x") + 1.0) == SizeConst(1)
+
+    def test_single_segop(self):
+        e = T.SegMap(1, self._ctx(N), v("x"))
+        assert max_par(e) == N
+
+    def test_nested_multiplies(self):
+        inner = T.SegMap(0, self._ctx(M), v("x") + 1.0)
+        outer = T.SegMap(1, self._ctx(N), inner)
+        assert max_par(outer).eval({"n": 3, "m": 5}) == 15
+
+    def test_sequenced_takes_max(self):
+        import repro.ir.source as S
+
+        a = T.SegMap(1, self._ctx(N), v("x"))
+        b = T.SegMap(1, self._ctx(M), v("x"))
+        e = S.Let(("r",), a, S.Let(("s",), b, v("s")))
+        assert max_par(e).eval({"n": 3, "m": 7}) == 7
+
+
+class TestBranchingTree:
+    def test_matmul_tree(self):
+        cp = compile_program(matmul_program(), "incremental")
+        trees = branching_trees(cp.body)
+        assert len(trees) == 1
+        root = trees[0]
+        assert isinstance(root, BranchNode)
+        # root guard is the outer map's t_top; the false branch nests deeper
+        assert isinstance(root.if_false, list)
+
+    def test_leaf_count_equals_versions(self):
+        cp = compile_program(matmul_program(), "incremental")
+
+        def leaves(node):
+            out = 0
+            for side in (node.if_true, node.if_false):
+                if isinstance(side, int):
+                    out += 1
+                else:
+                    out += sum(leaves(n) for n in side)
+            return out
+
+        trees = branching_trees(cp.body)
+        total = sum(leaves(t) for t in trees)
+        assert total == 5  # top, middle, (inner: top, middle, flat)
+
+    def test_locvolcalib_has_multiple_instances(self):
+        cp = compile_program(locvolcalib_program(), "incremental")
+        trees = branching_trees(cp.body)
+        # the two tridag batches are guarded independently (this is what
+        # lets AIF pick different versions per batch, §5.2)
+        thresholds = set()
+
+        def collect(nodes):
+            for n in nodes:
+                thresholds.add(n.threshold)
+                for side in (n.if_true, n.if_false):
+                    if isinstance(side, list):
+                        collect(side)
+
+        collect(trees)
+        assert len(thresholds) == len(cp.registry) == 8
+
+    def test_render_tree_mentions_guards(self):
+        cp = compile_program(matmul_program(), "incremental")
+        txt = render_tree(branching_trees(cp.body))
+        for name in cp.thresholds():
+            assert name in txt
+        assert "V0" in txt
+
+    def test_moderate_has_no_tree(self):
+        cp = compile_program(matmul_program(), "moderate")
+        assert branching_trees(cp.body) == []

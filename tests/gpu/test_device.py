@@ -1,0 +1,64 @@
+"""Device model sanity checks against the datasheet-derived constants."""
+
+from repro.gpu import K40, VEGA64
+
+
+class TestDeviceSpecs:
+    def test_k40_rates(self):
+        assert 1e12 < K40.alu_rate < 5e12
+        assert K40.mem_bw == 288e9
+        assert K40.local_mem == 48 * 1024
+        assert K40.max_group == 1024
+
+    def test_vega_rates(self):
+        assert 4e12 < VEGA64.alu_rate < 14e12
+        assert VEGA64.mem_bw == 484e9
+        assert VEGA64.local_mem == 64 * 1024
+        assert VEGA64.max_group == 256  # paper §5.1
+
+    def test_vega_relatively_memory_bound(self):
+        """The property §5.2 uses to explain device-dependent choices."""
+        assert VEGA64.ops_per_byte > K40.ops_per_byte
+
+    def test_positive_latencies(self):
+        for d in (K40, VEGA64):
+            assert d.launch_s > 0
+            assert d.mem_lat > d.local_lat > 0
+            assert d.barrier_s > 0
+            assert d.host_bw < d.mem_bw  # PCIe slower than DRAM
+
+
+class TestCPU16Extension:
+    """§3.2's future-work direction: a multicore with SIMD support."""
+
+    def test_registered(self):
+        from repro.gpu import CPU16
+
+        assert CPU16.name == "CPU16"
+        assert CPU16.full_occupancy < 100  # tens of threads saturate a CPU
+
+    def test_thresholds_much_lower_than_gpu(self):
+        from repro.bench.programs.matmul import matmul_program, matmul_sizes
+        from repro.compiler import compile_program
+        from repro.gpu import CPU16, K40
+        from repro.tuning import exhaustive_tune
+
+        cp = compile_program(matmul_program(), "incremental")
+        train = [matmul_sizes(e, 20) for e in range(11)]
+        th_cpu = exhaustive_tune(cp, train, CPU16).best_thresholds
+        th_k40 = exhaustive_tune(cp, train, K40).best_thresholds
+        # the outer-map t_top guard fires at far smaller sizes on the CPU
+        outer = [t.name for t in cp.registry.items if t.kind == "suff_outer_par"]
+        assert any(th_cpu[n] < th_k40[n] for n in outer)
+
+    def test_simulation_runs(self):
+        from repro.bench.programs.locvolcalib import (
+            locvolcalib_program,
+            locvolcalib_sizes,
+        )
+        from repro.compiler import compile_program
+        from repro.gpu import CPU16
+
+        cp = compile_program(locvolcalib_program(), "incremental")
+        rep = cp.simulate(locvolcalib_sizes("small"), CPU16)
+        assert rep.time > 0

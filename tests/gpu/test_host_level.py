@@ -1,0 +1,171 @@
+"""Host-level simulation semantics: sequencing, loops, conditionals,
+materialisation kernels, and host-rate fallbacks."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.gpu import K40
+from repro.gpu.cost import AArr, AScal, Simulator, aval_from_type
+from repro.ir import source as S
+from repro.ir.builder import (
+    Program,
+    f32,
+    i64,
+    if_,
+    intrinsic,
+    iota,
+    let_,
+    loop_,
+    map_,
+    op2,
+    reduce_,
+    replicate,
+    size_e,
+    v,
+)
+from repro.ir.types import BOOL, F32, I64, array_of
+from repro.sizes import SizeVar
+
+N = SizeVar("n")
+
+
+def simulate(prog, sizes, mode="moderate", thresholds=None):
+    cp = compile_program(prog, mode)
+    return cp.simulate(sizes, K40, thresholds=thresholds)
+
+
+class TestSequencing:
+    def test_let_chain_sums_kernels(self):
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, N))],
+            let_(
+                map_(lambda x: x * 2.0, v("xs")),
+                lambda ys: map_(lambda y: y + 1.0, ys),
+            ),
+        )
+        # fusion would merge them; compile without it
+        cp = compile_program(prog, "moderate", do_fuse=False)
+        rep = cp.simulate({"n": 2**16}, K40)
+        assert rep.num_kernels == 2
+        assert rep.time >= 2 * K40.launch_s
+
+    def test_host_loop_multiplies_time(self):
+        def prog_with(steps):
+            return Program(
+                "p",
+                [("xs", array_of(F32, N)), ("k", I64)],
+                loop_(
+                    [v("xs")], i64(steps),
+                    lambda i, cur: map_(lambda x: x * 2.0, cur),
+                ),
+            )
+
+        t2 = simulate(prog_with(2), {"n": 2**18, "k": 1}).time
+        t8 = simulate(prog_with(8), {"n": 2**18, "k": 1}).time
+        assert t8 == pytest.approx(4 * t2, rel=0.01)
+
+    def test_loop_bound_from_sizes(self):
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, N)), ("numT", I64)],
+            loop_(
+                [v("xs")], v("numT"), lambda i, cur: map_(lambda x: x + 1.0, cur)
+            ),
+        )
+        t1 = simulate(prog, {"n": 2**16, "numT": 1}).time
+        t4 = simulate(prog, {"n": 2**16, "numT": 4}).time
+        assert t4 == pytest.approx(4 * t1, rel=0.01)
+
+
+class TestHostConditionals:
+    def test_unknown_condition_charges_heavier_branch(self):
+        # branches must agree in type; use a cheap vs expensive map
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, N)), ("flag", BOOL)],
+            if_(
+                v("flag"),
+                map_(lambda x: x + 1.0, v("xs")),
+                map_(
+                    lambda x: S.UnOp("exp", S.UnOp("exp", x * 3.0) + x),
+                    v("xs"),
+                ),
+            ),
+        )
+        rep = simulate(prog, {"n": 2**18})
+        then_prog = Program("p", prog.params, map_(lambda x: x + 1.0, v("xs")))
+        els_prog = Program(
+            "p",
+            prog.params,
+            map_(lambda x: S.UnOp("exp", S.UnOp("exp", x * 3.0) + x), v("xs")),
+        )
+        t_then = simulate(then_prog, {"n": 2**18}).time
+        t_els = simulate(els_prog, {"n": 2**18}).time
+        assert rep.time == pytest.approx(max(t_then, t_els), rel=0.05)
+
+
+class TestMaterialisation:
+    def test_replicate_is_a_copy_kernel(self):
+        prog = Program(
+            "p",
+            [("k", I64)],
+            replicate(size_e("n"), f32(1.0)),
+        )
+        rep = simulate(prog, {"n": 2**20, "k": 0})
+        assert rep.num_kernels == 1
+        assert rep.kernels[0].kind == "replicate"
+
+    def test_iota_materialises(self):
+        prog = Program("p", [("k", I64)], iota(size_e("n")))
+        rep = simulate(prog, {"n": 2**20, "k": 0})
+        assert rep.num_kernels == 1
+
+
+class TestHostFallbacks:
+    def test_top_level_intrinsic_charged_at_host_rate(self):
+        import repro.bench.references  # registers thomas_tridag
+
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, N))],
+            intrinsic("thomas_tridag", v("xs")),
+        )
+        rep = simulate(prog, {"n": 2**20})
+        assert rep.host_time > 0
+        assert rep.time >= rep.host_time
+
+    def test_host_time_not_double_counted(self):
+        import repro.bench.references  # noqa: F401
+
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, N))],
+            let_(
+                intrinsic("thomas_tridag", v("xs")),
+                lambda a: intrinsic("thomas_tridag", a),
+            ),
+        )
+        one = Program(
+            "p",
+            [("xs", array_of(F32, N))],
+            intrinsic("thomas_tridag", v("xs")),
+        )
+        t2 = simulate(prog, {"n": 2**20}).time
+        t1 = simulate(one, {"n": 2**20}).time
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+
+class TestResultAvals:
+    def test_simulator_exposes_results(self):
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, N))],
+            map_(lambda x: x * 2.0, v("xs")),
+        )
+        cp = compile_program(prog, "moderate")
+        sim = Simulator(K40)
+        sim.simulate(cp.body, {"xs": aval_from_type(prog.params[0][1], {"n": 64})},
+                     {"n": 64})
+        (res,) = sim.result
+        assert isinstance(res, AArr) and res.shape == (64,)

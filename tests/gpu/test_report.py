@@ -1,0 +1,68 @@
+"""Cost-report data structure tests."""
+
+from repro.gpu.report import Chain, CostReport, KernelStats
+
+
+def _k(time=1e-6, gbytes=100.0, ops=10.0, local=0):
+    return KernelStats(
+        kind="segmap",
+        level=1,
+        threads=256,
+        groups=1,
+        group_size=256,
+        waves=1,
+        time=time,
+        compute_bound=0,
+        memory_bound=0,
+        local_bound=0,
+        latency_bound=0,
+        gbytes=gbytes,
+        ops=ops,
+        local_mem_used=local,
+    )
+
+
+class TestChain:
+    def test_add(self):
+        a = Chain(ops=1, gbytes=2, lbytes=3, gacc=4, lacc=5, barriers=6)
+        b = a.add(a)
+        assert (b.ops, b.gbytes, b.lbytes, b.gacc, b.lacc, b.barriers) == (
+            2, 4, 6, 8, 10, 12,
+        )
+
+    def test_scaled(self):
+        a = Chain(ops=1, gbytes=2)
+        b = a.scaled(3)
+        assert b.ops == 3 and b.gbytes == 6
+        assert a.ops == 1  # original untouched
+
+    def test_default_zero(self):
+        c = Chain()
+        assert c.ops == c.gbytes == c.barriers == 0
+
+
+class TestCostReport:
+    def test_totals(self):
+        rep = CostReport()
+        rep.kernels = [_k(gbytes=100), _k(gbytes=50)]
+        assert rep.total_gbytes == 150
+        assert rep.num_kernels == 2
+
+    def test_peak_local(self):
+        rep = CostReport()
+        rep.kernels = [_k(local=100), _k(local=300), _k(local=200)]
+        assert rep.peak_local_mem == 300
+
+    def test_peak_local_empty(self):
+        assert CostReport().peak_local_mem == 0
+
+    def test_merge(self):
+        a = CostReport(time=1.0)
+        a.kernels = [_k()]
+        b = CostReport(time=2.0, host_time=0.5, transfer_bytes=10.0)
+        b.kernels = [_k(), _k()]
+        a.merge(b)
+        assert a.time == 3.0
+        assert a.host_time == 0.5
+        assert a.transfer_bytes == 10.0
+        assert a.num_kernels == 3

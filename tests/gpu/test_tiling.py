@@ -1,0 +1,29 @@
+"""Tiling legality analysis tests."""
+
+from repro.gpu.tiling import tiling_factor
+
+
+class TestTilingFactor:
+    def test_invariant_operand_tiled(self):
+        # operand varies only along level 0 of a 2-D kernel: invariant to
+        # level 1 → shared by a tile of threads
+        assert tiling_factor(frozenset({0}), [64, 64], 16) == 16.0
+
+    def test_fully_variant_not_tiled(self):
+        assert tiling_factor(frozenset({0, 1}), [64, 64], 16) == 1.0
+
+    def test_broadcast_operand_tiled_in_1d(self):
+        # free array in a 1-D kernel: invariant to the only dimension
+        assert tiling_factor(frozenset(), [1024], 16) == 16.0
+
+    def test_small_extent_no_tiling(self):
+        # the invariant dimension has fewer threads than a tile
+        assert tiling_factor(frozenset({0}), [64, 4], 16) == 1.0
+
+    def test_no_dims_no_tiling(self):
+        assert tiling_factor(frozenset(), [], 16) == 1.0
+
+    def test_matmul_both_operands(self):
+        dims = [512, 512]
+        assert tiling_factor(frozenset({0}), dims, 16) == 16.0  # xs
+        assert tiling_factor(frozenset({1}), dims, 16) == 16.0  # ys

@@ -1,0 +1,153 @@
+"""Interpreter semantics of the non-SOAC constructs."""
+
+import numpy as np
+import pytest
+
+from repro.interp import Evaluator, InterpError, bind_sizes, run_program
+from repro.ir import source as S
+from repro.ir.builder import (
+    Program,
+    f32,
+    i64,
+    if_,
+    iota,
+    let_,
+    loop_,
+    map_,
+    replicate,
+    size_e,
+    transpose,
+    v,
+)
+from repro.ir.types import F32, I64, array_of
+from repro.sizes import SizeVar
+
+EV = Evaluator(sizes={"n": 4})
+
+
+def run1(e, **env):
+    return EV.eval1(e, env)
+
+
+class TestBasics:
+    def test_literals(self):
+        assert run1(f32(1.5)) == np.float32(1.5)
+        assert run1(i64(-3)) == -3
+
+    def test_let(self):
+        e = let_(f32(2.0), lambda a: a * a)
+        assert run1(e) == 4.0
+
+    def test_let_multi(self):
+        e = S.Let(("a", "b"), S.TupleExp([f32(1.0), f32(2.0)]), v("a") + v("b"))
+        assert run1(e) == 3.0
+
+    def test_let_arity_error(self):
+        with pytest.raises(InterpError):
+            run1(S.Let(("a", "b"), f32(1.0), v("a")))
+
+    def test_if(self):
+        assert run1(if_(S.lift(True), f32(1.0), f32(2.0))) == 1.0
+        assert run1(if_(S.lift(False), f32(1.0), f32(2.0))) == 2.0
+
+    def test_division_semantics(self):
+        assert run1(f32(7.0) / f32(2.0)) == np.float32(3.5)
+        assert run1(i64(7) / i64(2)) == 3  # integer division
+
+    def test_unops(self):
+        assert run1(S.UnOp("sqrt", f32(9.0))) == 3.0
+        assert run1(S.UnOp("not", S.lift(False)))
+        assert run1(S.UnOp("to_i64", f32(3.7))) == 3
+
+
+class TestArrays:
+    def test_index(self):
+        out = run1(v("xs")[i64(1)], xs=np.asarray([5, 6, 7]))
+        assert out == 6
+
+    def test_index_partial(self):
+        out = run1(v("xss")[i64(0)], xss=np.arange(6).reshape(2, 3))
+        assert np.array_equal(out, [0, 1, 2])
+
+    def test_iota(self):
+        assert np.array_equal(run1(iota(i64(3))), [0, 1, 2])
+
+    def test_iota_symbolic(self):
+        assert np.array_equal(run1(iota(size_e("n"))), [0, 1, 2, 3])
+
+    def test_replicate_scalar(self):
+        assert np.array_equal(run1(replicate(i64(3), f32(1.0))), [1, 1, 1])
+
+    def test_replicate_array(self):
+        out = run1(replicate(i64(2), v("xs")), xs=np.asarray([1, 2]))
+        assert out.shape == (2, 2)
+
+    def test_transpose(self):
+        out = run1(transpose(v("xss")), xss=np.arange(6).reshape(2, 3))
+        assert out.shape == (3, 2)
+
+    def test_rearrange_3d(self):
+        out = run1(
+            S.Rearrange((0, 2, 1), v("a")), a=np.arange(24).reshape(2, 3, 4)
+        )
+        assert out.shape == (2, 4, 3)
+
+
+class TestLoop:
+    def test_accumulator(self):
+        e = loop_([i64(0)], i64(5), lambda i, a: a + i)
+        assert run1(e) == 10
+
+    def test_zero_iterations(self):
+        e = loop_([i64(42)], i64(0), lambda i, a: a + 1)
+        assert run1(e) == 42
+
+    def test_multi_state(self):
+        e = loop_([i64(0), i64(1)], i64(4), lambda i, a, b: (b, a + b))
+        outs = EV.eval(e, {})
+        assert (outs[0], outs[1]) == (3, 5)  # Fibonacci
+
+    def test_array_state(self):
+        e = loop_([v("xs")], i64(3), lambda i, a: map_(lambda x: x * 2.0, a))
+        out = run1(e, xs=np.asarray([1.0], np.float32))
+        assert out[0] == 8.0
+
+
+class TestProgramRunner:
+    def _prog(self):
+        n = SizeVar("n")
+        return Program(
+            "p",
+            [("xs", array_of(F32, n)), ("k", I64)],
+            map_(lambda x: x * 2.0, v("xs")),
+        )
+
+    def test_run(self):
+        (out,) = run_program(self._prog(), {"xs": np.ones(3, np.float32), "k": 1})
+        assert np.array_equal(out, [2, 2, 2])
+
+    def test_bind_sizes(self):
+        sizes = bind_sizes(self._prog(), {"xs": np.ones(5, np.float32)})
+        assert sizes == {"n": 5}
+
+    def test_bind_sizes_inconsistent(self):
+        n = SizeVar("n")
+        prog = Program(
+            "p",
+            [("a", array_of(F32, n)), ("b", array_of(F32, n))],
+            v("a"),
+        )
+        with pytest.raises(InterpError):
+            bind_sizes(
+                prog, {"a": np.ones(3, np.float32), "b": np.ones(4, np.float32)}
+            )
+
+    def test_scalar_param_becomes_size(self):
+        n = SizeVar("n")
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, n)), ("k", I64)],
+            loop_([f32(0.0)], v("k"), lambda i, a: a + 1.0),
+        )
+        (out,) = run_program(prog, {"xs": np.ones(2, np.float32), "k": 4})
+        assert out == 4.0

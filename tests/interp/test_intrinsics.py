@@ -1,0 +1,111 @@
+"""Intrinsic machinery tests: registration, typing, semantics, cost.
+
+Uses the ``thomas_tridag`` intrinsic (FinPar-Out's sequential solver) as
+the worked example: it is semantically identical to LocVolCalib's
+three-scan tridag but carries a cheaper cost profile — the paper's §5.2
+explanation for FinPar-Out's advantage on the large dataset.
+"""
+
+import numpy as np
+import pytest
+
+import repro.bench.references  # noqa: F401  (registers thomas_tridag)
+from repro.bench.programs.locvolcalib import _np_tridag
+from repro.compiler import compile_program
+from repro.gpu import K40
+from repro.interp import Evaluator
+from repro.interp.intrinsics import IntrinsicDef, get, register
+from repro.ir.builder import Program, f32, intrinsic, map_, scan_, v
+from repro.ir.typecheck import TypeError_, typeof
+from repro.ir.types import F32, array_of
+from repro.sizes import SizeVar
+
+EV = Evaluator()
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get("thomas_tridag").name == "thomas_tridag"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get("warp_drive")
+
+    def test_register_custom(self):
+        from repro.ir.types import I64
+
+        register(
+            IntrinsicDef(
+                name="_test_double",
+                type_rule=lambda ts: ts,
+                interp=lambda x: np.int64(int(x) * 2),
+                cost=lambda avals, sizes: (1.0, 0.0, 0.0),
+            )
+        )
+        e = intrinsic("_test_double", 21)
+        assert EV.eval1(e, {}) == 42
+        assert typeof(e, {}) == (I64,)
+
+
+class TestThomasTridag:
+    def test_typing(self):
+        n = SizeVar("n")
+        env = {"xs": array_of(F32, n)}
+        (t,) = typeof(intrinsic("thomas_tridag", v("xs")), env)
+        assert t == array_of(F32, n)
+
+    def test_type_error_on_matrix(self):
+        env = {"xss": array_of(F32, SizeVar("n"), SizeVar("m"))}
+        with pytest.raises(TypeError_):
+            typeof(intrinsic("thomas_tridag", v("xss")), env)
+
+    def test_semantics_match_scan_formulation(self):
+        """The intrinsic computes exactly what the three scans compute."""
+        rng = np.random.default_rng(0)
+        xs = rng.standard_normal(16).astype(np.float32)
+        out = EV.eval1(intrinsic("thomas_tridag", v("xs")), {"xs": xs})
+        ref = _np_tridag(xs[None, :])[0]
+        assert np.allclose(out, ref, rtol=1e-6)
+
+    def test_cost_cheaper_than_scans(self):
+        """FinPar-Out's point: fewer global accesses than the scans."""
+        n = SizeVar("n")
+        thomas = Program(
+            "thomas",
+            [("xss", array_of(F32, n, 64))],
+            map_(lambda row: intrinsic("thomas_tridag", row), v("xss")),
+        )
+        scans = Program(
+            "scans",
+            [("xss", array_of(F32, n, 64))],
+            map_(
+                lambda row: scan_(
+                    lambda a, b: a * 0.125 + b,
+                    f32(0.0),
+                    scan_(
+                        lambda a, b: a * 0.25 + b * 1.5,
+                        f32(0.0),
+                        scan_(lambda a, b: a * 0.5 + b, f32(0.0), row),
+                    ),
+                ),
+                v("xss"),
+            ),
+        )
+        sizes = {"n": 4096}
+        t_thomas = compile_program(thomas, "moderate").simulate(sizes, K40)
+        t_scans = compile_program(scans, "moderate").simulate(sizes, K40)
+        assert t_thomas.total_gbytes < t_scans.total_gbytes
+
+    def test_intrinsic_flattens_inside_map(self):
+        n = SizeVar("n")
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, n, 8))],
+            map_(lambda row: intrinsic("thomas_tridag", row), v("xss")),
+        )
+        cp = compile_program(prog, "incremental")
+        rng = np.random.default_rng(1)
+        xss = rng.standard_normal((3, 8)).astype(np.float32)
+        (got,) = cp.run({"xss": xss})
+        ref = _np_tridag(xss)
+        assert np.allclose(got, ref, rtol=1e-6)

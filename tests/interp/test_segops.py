@@ -1,0 +1,121 @@
+"""The §2.1 defining equations: seg-ops equal their map-nest expansions."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.interp import Evaluator
+from repro.ir import target as T
+from repro.ir.builder import f32, i64, map_, op2, redomap_, scanomap_, v
+from repro.sizes import SizeVar
+
+EV = Evaluator(thresholds={"t0": 8})
+
+
+def ctx2(xss_name="xss"):
+    return T.Ctx(
+        [
+            T.Binding(("row",), (v(xss_name),), SizeVar("n")),
+            T.Binding(("x",), (v("row"),), SizeVar("m")),
+        ]
+    )
+
+
+def arr2(rng, n=3, m=4):
+    return rng.uniform(-5, 5, (n, m)).astype(np.float32)
+
+
+class TestSegMap:
+    def test_paper_example(self):
+        # segmap^1 ⟨xs ∈ xss⟩⟨x ∈ xs⟩ (x+1) on [[1,2],[3,4]] = [[2,3],[4,5]]
+        e = T.SegMap(1, ctx2(), v("x") + i64(1))
+        out = EV.eval1(e, {"xss": np.asarray([[1, 2], [3, 4]])})
+        assert np.array_equal(out, [[2, 3], [4, 5]])
+
+    def test_equals_nested_maps(self):
+        rng = np.random.default_rng(0)
+        xss = arr2(rng)
+        seg = T.SegMap(1, ctx2(), v("x") * 2.0 + 1.0)
+        nest = map_(lambda row: map_(lambda x: x * 2.0 + 1.0, row), v("xss"))
+        a = EV.eval1(seg, {"xss": xss})
+        b = EV.eval1(nest, {"xss": xss})
+        assert np.array_equal(a, b)
+
+    def test_multi_result(self):
+        rng = np.random.default_rng(1)
+        xss = arr2(rng)
+        from repro.ir.source import TupleExp
+
+        seg = T.SegMap(1, ctx2(), TupleExp([v("x") + 1.0, v("x") * 2.0]))
+        outs = EV.eval(seg, {"xss": xss})
+        assert np.allclose(outs[0], xss + 1)
+        assert np.allclose(outs[1], xss * 2)
+
+
+class TestSegRed:
+    def test_equals_map_of_redomap(self):
+        rng = np.random.default_rng(2)
+        xss = arr2(rng)
+        seg = T.SegRed(1, ctx2(), op2("+"), [f32(0.0)], v("x") * v("x"))
+        nest = map_(
+            lambda row: redomap_(op2("+"), lambda x: x * x, f32(0.0), row),
+            v("xss"),
+        )
+        a = EV.eval1(seg, {"xss": xss})
+        b = EV.eval1(nest, {"xss": xss})
+        assert np.array_equal(a, b)
+
+    def test_full_reduction_single_binding(self):
+        ctx = T.Ctx([T.Binding(("x",), (v("xs"),), SizeVar("n"))])
+        seg = T.SegRed(1, ctx, op2("+"), [f32(0.0)], v("x"))
+        out = EV.eval1(seg, {"xs": np.asarray([1, 2, 3], np.float32)})
+        assert out == 6
+
+
+class TestSegScan:
+    def test_paper_example(self):
+        # segscan^1 ⟨xs∈xss⟩⟨x∈xs⟩ (+) 0 (x) on [[1,2],[3,4]] = [[1,3],[3,7]]
+        e = T.SegScan(1, ctx2(), op2("+"), [i64(0)], v("x"))
+        out = EV.eval1(e, {"xss": np.asarray([[1, 2], [3, 4]])})
+        assert np.array_equal(out, [[1, 3], [3, 7]])
+
+    def test_equals_map_of_scanomap(self):
+        rng = np.random.default_rng(3)
+        xss = arr2(rng)
+        seg = T.SegScan(1, ctx2(), op2("max"), [f32(-1e9)], v("x") + 1.0)
+        nest = map_(
+            lambda row: scanomap_(op2("max"), lambda x: x + 1.0, f32(-1e9), row),
+            v("xss"),
+        )
+        a = EV.eval1(seg, {"xss": xss})
+        b = EV.eval1(nest, {"xss": xss})
+        assert np.array_equal(a, b)
+
+
+class TestParCmp:
+    def test_threshold_taken(self):
+        ev = Evaluator(sizes={"n": 100}, thresholds={"t": 50})
+        assert ev.eval1(T.ParCmp(SizeVar("n"), "t"), {})
+
+    def test_threshold_not_taken(self):
+        ev = Evaluator(sizes={"n": 10}, thresholds={"t": 50})
+        assert not ev.eval1(T.ParCmp(SizeVar("n"), "t"), {})
+
+    def test_default_threshold_is_2_15(self):
+        ev = Evaluator(sizes={"n": 2**15})
+        assert ev.eval1(T.ParCmp(SizeVar("n"), "anything"), {})
+        ev2 = Evaluator(sizes={"n": 2**15 - 1})
+        assert not ev2.eval1(T.ParCmp(SizeVar("n"), "anything"), {})
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(1, 5),
+    st.integers(1, 5),
+    st.integers(0, 2**32 - 1),
+)
+def test_segmap_matches_nest_random(n, m, seed):
+    rng = np.random.default_rng(seed)
+    xss = rng.uniform(-10, 10, (n, m)).astype(np.float32)
+    seg = T.SegMap(1, ctx2(), v("x") * 3.0 - 1.0)
+    nest = map_(lambda row: map_(lambda x: x * 3.0 - 1.0, row), v("xss"))
+    assert np.array_equal(EV.eval1(seg, {"xss": xss}), EV.eval1(nest, {"xss": xss}))

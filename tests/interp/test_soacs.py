@@ -1,0 +1,178 @@
+"""SOAC semantics versus numpy oracles, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interp import Evaluator
+from repro.ir.builder import (
+    f32,
+    i64,
+    lam,
+    map_,
+    op2,
+    redomap_,
+    reduce_,
+    scan_,
+    scanomap_,
+    v,
+)
+
+EV = Evaluator()
+
+
+def run1(e, **env):
+    return EV.eval1(e, env)
+
+
+def arr(xs, dtype=np.float32):
+    return np.asarray(xs, dtype=dtype)
+
+
+class TestMap:
+    def test_scalar_map(self):
+        out = run1(map_(lambda x: x * 2.0, v("xs")), xs=arr([1, 2, 3]))
+        assert np.array_equal(out, arr([2, 4, 6]))
+
+    def test_multi_input(self):
+        out = run1(
+            map_(lambda x, y: x + y, v("xs"), v("ys")),
+            xs=arr([1, 2]),
+            ys=arr([10, 20]),
+        )
+        assert np.array_equal(out, arr([11, 22]))
+
+    def test_multi_output(self):
+        outs = EV.eval(
+            map_(lambda x, y: (2.0 * x, 3.0 + y), v("xs"), v("ys")),
+            {"xs": arr([1, 2]), "ys": arr([5, 6])},
+        )
+        assert np.array_equal(outs[0], arr([2, 4]))
+        assert np.array_equal(outs[1], arr([8, 9]))
+
+    def test_nested_rows(self):
+        out = run1(
+            map_(lambda row: map_(lambda x: x + 1.0, row), v("xss")),
+            xss=arr([[1, 2], [3, 4]]),
+        )
+        assert np.array_equal(out, arr([[2, 3], [4, 5]]))
+
+    def test_irregular_inputs_rejected(self):
+        from repro.interp import InterpError
+
+        with pytest.raises(InterpError):
+            run1(
+                map_(lambda x, y: x + y, v("xs"), v("ys")),
+                xs=arr([1, 2, 3]),
+                ys=arr([1, 2]),
+            )
+
+
+class TestReduce:
+    def test_sum(self):
+        assert run1(reduce_(op2("+"), f32(0.0), v("xs")), xs=arr([1, 2, 3])) == 6
+
+    def test_max(self):
+        assert run1(reduce_(op2("max"), f32(-1e9), v("xs")), xs=arr([3, 9, 2])) == 9
+
+    def test_empty_is_ne(self):
+        assert run1(
+            reduce_(op2("+"), f32(7.0), v("xs")), xs=np.zeros(0, np.float32)
+        ) == np.float32(7.0)
+
+    def test_tuple_reduce(self):
+        # the paper's §2 example: reduce over two arrays at once
+        outs = EV.eval(
+            reduce_(
+                lam(lambda x1, x2, y1, y2: (x1 + y1, x2 * y2)),
+                [f32(0.0), f32(1.0)],
+                v("zs1"),
+                v("zs2"),
+            ),
+            {"zs1": arr([1, 2, 3]), "zs2": arr([2, 2, 2])},
+        )
+        assert outs[0] == 6 and outs[1] == 8
+
+
+class TestScan:
+    def test_prefix_sum(self):
+        # paper §2: scan (+) 0 [a1..an]
+        out = run1(scan_(op2("+"), f32(0.0), v("xs")), xs=arr([1, 2, 3, 4]))
+        assert np.array_equal(out, arr([1, 3, 6, 10]))
+
+    def test_paper_segscan_example_rows(self):
+        # scanning rows of [[1,2],[3,4]] gives [[1,3],[3,7]]
+        out = run1(
+            map_(lambda row: scan_(op2("+"), i64(0), row), v("xss")),
+            xss=arr([[1, 2], [3, 4]], np.int64),
+        )
+        assert np.array_equal(out, arr([[1, 3], [3, 7]], np.int64))
+
+
+class TestFused:
+    def test_redomap_equals_reduce_of_map(self):
+        xs = arr([1.5, 2.5, 3.0])
+        fused = run1(
+            redomap_(op2("+"), lambda x: x * x, f32(0.0), v("xs")), xs=xs
+        )
+        unfused = run1(
+            reduce_(op2("+"), f32(0.0), map_(lambda x: x * x, v("xs"))), xs=xs
+        )
+        assert fused == unfused
+
+    def test_scanomap_equals_scan_of_map(self):
+        xs = arr([1, 2, 3])
+        fused = run1(scanomap_(op2("+"), lambda x: x * 2.0, f32(0.0), v("xs")), xs=xs)
+        unfused = run1(
+            scan_(op2("+"), f32(0.0), map_(lambda x: x * 2.0, v("xs"))), xs=xs
+        )
+        assert np.array_equal(fused, unfused)
+
+    def test_redomap_dot_product(self):
+        out = run1(
+            redomap_(op2("+"), lambda x, y: x * y, f32(0.0), v("xs"), v("ys")),
+            xs=arr([1, 2, 3]),
+            ys=arr([4, 5, 6]),
+        )
+        assert out == 32
+
+
+# -- hypothesis oracles --------------------------------------------------------
+
+floats = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, width=32
+)
+f32_arrays = st.lists(floats, min_size=1, max_size=20).map(
+    lambda xs: np.asarray(xs, dtype=np.float32)
+)
+
+
+@settings(max_examples=50)
+@given(f32_arrays)
+def test_map_matches_numpy(xs):
+    out = run1(map_(lambda x: x * 2.0 + 1.0, v("xs")), xs=xs)
+    assert np.allclose(out, xs * np.float32(2.0) + np.float32(1.0))
+
+
+@settings(max_examples=50)
+@given(f32_arrays)
+def test_reduce_max_matches_numpy(xs):
+    out = run1(reduce_(op2("max"), f32(-1e30), v("xs")), xs=xs)
+    assert out == np.max(xs)
+
+
+@settings(max_examples=50)
+@given(f32_arrays)
+def test_scan_length_and_last(xs):
+    out = run1(scan_(op2("max"), f32(-1e30), v("xs")), xs=xs)
+    assert len(out) == len(xs)
+    assert out[-1] == np.max(xs)
+    assert np.all(np.diff(out) >= 0)  # max-scan is monotone
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=20))
+def test_int_scan_matches_cumsum(vals):
+    xs = np.asarray(vals, dtype=np.int64)
+    out = run1(scan_(op2("+"), i64(0), v("xs")), xs=xs)
+    assert np.array_equal(out, np.cumsum(xs))

@@ -1,0 +1,109 @@
+"""Builder DSL tests."""
+
+import numpy as np
+import pytest
+
+from repro.interp import Evaluator
+from repro.ir import source as S
+from repro.ir.builder import (
+    Program,
+    f32,
+    i64,
+    lam,
+    let_,
+    lets,
+    loop_,
+    map_,
+    op2,
+    size_e,
+    v,
+)
+from repro.ir.types import F32, I64, array_of
+from repro.sizes import SizeVar
+
+EV = Evaluator()
+
+
+class TestLambdas:
+    def test_param_names_from_python(self):
+        l_ = lam(lambda alpha, beta: alpha + beta)
+        assert l_.params[0].startswith("alpha")
+        assert l_.params[1].startswith("beta")
+
+    def test_params_fresh_across_instances(self):
+        a = lam(lambda x: x)
+        b = lam(lambda x: x)
+        assert a.params[0] != b.params[0]
+
+    def test_tuple_body_becomes_tupleexp(self):
+        l_ = lam(lambda x: (x, x))
+        assert isinstance(l_.body, S.TupleExp)
+
+    def test_op2(self):
+        l_ = op2("max")
+        assert isinstance(l_.body, S.BinOp) and l_.body.op == "max"
+
+
+class TestLets:
+    def test_let_single(self):
+        e = let_(f32(2.0), lambda a: a * a)
+        assert EV.eval1(e, {}) == 4.0
+
+    def test_let_multi(self):
+        e = let_(
+            map_(lambda x: (x, x * 2.0), v("xs")),
+            lambda as_, bs: S.TupleExp([as_, bs]),
+        )
+        outs = EV.eval(e, {"xs": np.asarray([1.0], np.float32)})
+        assert len(outs) == 2
+
+    def test_let_explicit_names(self):
+        e = let_(f32(1.0), lambda q: q, names="custom")
+        assert e.names[0].startswith("custom")
+
+    def test_lets_chain(self):
+        e = lets(
+            f32(1.0),
+            f32(2.0),
+            result=lambda a, b: a + b,
+        )
+        assert EV.eval1(e, {}) == 3.0
+
+
+class TestLoop:
+    def test_loop_builder(self):
+        e = loop_([i64(1)], i64(4), lambda i, a: a * 2)
+        assert EV.eval1(e, {}) == 16
+
+    def test_loop_arity_check(self):
+        with pytest.raises(ValueError):
+            loop_([i64(0), i64(1)], i64(2), lambda i, a: a)
+
+    def test_loop_tuple_result(self):
+        e = loop_([i64(0), i64(0)], i64(3), lambda i, a, b: (a + 1, b + 2))
+        outs = EV.eval(e, {})
+        assert (outs[0], outs[1]) == (3, 6)
+
+
+class TestProgram:
+    def test_size_vars(self):
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, SizeVar("n"), SizeVar("m"))), ("k", I64)],
+            v("k"),
+        )
+        assert prog.size_vars() == {"n", "m"}
+
+    def test_check_returns_types(self):
+        prog = Program("p", [("k", I64)], v("k") + 1)
+        assert prog.check() == (I64,)
+
+    def test_repr_contains_signature(self):
+        prog = Program("myprog", [("k", I64)], v("k"))
+        assert "def myprog" in repr(prog)
+        assert "k: i64" in repr(prog)
+
+    def test_size_e(self):
+        e = size_e("n")
+        assert isinstance(e, S.SizeE)
+        assert Evaluator(sizes={"n": 9}).eval1(e, {}) == 9

@@ -1,0 +1,126 @@
+"""Pretty-printer coverage: every node class renders sensibly."""
+
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.builder import (
+    f32,
+    i64,
+    if_,
+    iota,
+    lam,
+    loop_,
+    map_,
+    op2,
+    redomap_,
+    reduce_,
+    replicate,
+    scan_,
+    scanomap_,
+    transpose,
+    v,
+)
+from repro.ir.pretty import pretty, pretty_lambda
+from repro.sizes import SizeVar
+
+
+class TestScalars:
+    def test_var(self):
+        assert pretty(v("x")) == "x"
+
+    def test_literals(self):
+        assert pretty(i64(3)) == "3"
+        assert pretty(f32(1.5)) == "1.5f"
+        assert pretty(S.Lit(True, __import__("repro.ir.types", fromlist=["BOOL"]).BOOL)) == "true"
+
+    def test_binop_infix(self):
+        assert pretty(v("a") + v("b")) == "(a + b)"
+
+    def test_minmax_prefix(self):
+        assert pretty(S.BinOp("max", v("a"), v("b"))) == "max(a, b)"
+
+    def test_unop(self):
+        assert pretty(S.UnOp("sqrt", v("x"))) == "sqrt(x)"
+
+    def test_sizee(self):
+        assert "n" in pretty(S.SizeE(SizeVar("n")))
+
+
+class TestStructured:
+    def test_let(self):
+        out = pretty(S.Let(("a",), f32(1.0), v("a")))
+        assert "let a =" in out and "in a" in out
+
+    def test_if(self):
+        out = pretty(if_(v("c"), f32(1.0), f32(2.0)))
+        assert "if c" in out and "then" in out and "else" in out
+
+    def test_index(self):
+        assert pretty(v("xs")[v("i"), v("j")]) == "xs[i, j]"
+
+    def test_loop(self):
+        out = pretty(loop_([f32(0.0)], i64(3), lambda i, a: a))
+        assert out.startswith("loop") and "for" in out and "do" in out
+
+    def test_iota_replicate(self):
+        assert pretty(iota(i64(3))) == "iota 3"
+        assert pretty(replicate(i64(2), f32(0.0))) == "replicate 2 0.0f"
+
+    def test_transpose_special_case(self):
+        assert pretty(transpose(v("xss"))) == "transpose xss"
+        assert pretty(S.Rearrange((0, 2, 1), v("a"))).startswith("rearrange")
+
+    def test_tuple(self):
+        assert pretty(S.TupleExp([v("a"), v("b")])) == "(a, b)"
+
+    def test_intrinsic(self):
+        assert pretty(S.Intrinsic("foo", (v("x"),))) == "#foo(x)"
+
+
+class TestSoacs:
+    def test_map(self):
+        out = pretty(map_(lambda x: x + 1.0, v("xs")))
+        assert out.startswith("map (λ")
+
+    def test_reduce(self):
+        out = pretty(reduce_(op2("+"), f32(0.0), v("xs")))
+        assert out.startswith("reduce") and "0.0f" in out
+
+    def test_scan(self):
+        assert pretty(scan_(op2("+"), f32(0.0), v("xs"))).startswith("scan")
+
+    def test_redomap(self):
+        out = pretty(redomap_(op2("+"), lambda x: x, f32(0.0), v("xs")))
+        assert out.startswith("redomap")
+
+    def test_scanomap(self):
+        out = pretty(scanomap_(op2("+"), lambda x: x, f32(0.0), v("xs")))
+        assert out.startswith("scanomap")
+
+    def test_lambda(self):
+        out = pretty_lambda(lam(lambda x, y: x * y))
+        assert out.startswith("(λ") and "→" in out
+
+
+class TestTarget:
+    def _ctx(self):
+        return T.Ctx([T.Binding(("x",), (v("xs"),), SizeVar("n"))])
+
+    def test_segmap(self):
+        out = pretty(T.SegMap(1, self._ctx(), v("x") + 1.0))
+        assert out.startswith("segmap^1") and "⟨x ∈ xs⟩" in out
+
+    def test_segred(self):
+        out = pretty(T.SegRed(0, self._ctx(), op2("+"), [f32(0.0)], v("x")))
+        assert out.startswith("segred^0")
+
+    def test_segscan(self):
+        out = pretty(T.SegScan(1, self._ctx(), op2("+"), [f32(0.0)], v("x")))
+        assert out.startswith("segscan^1")
+
+    def test_parcmp(self):
+        out = pretty(T.ParCmp(SizeVar("n"), "t0"))
+        assert out == "n ≥ t0"
+
+    def test_repr_uses_pretty(self):
+        e = v("a") + v("b")
+        assert repr(e) == pretty(e)

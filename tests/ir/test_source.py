@@ -1,0 +1,112 @@
+"""Tests for source AST construction and operator sugar."""
+
+import pytest
+
+from repro.ir import source as S
+from repro.ir.builder import f32, i64, lam, op2, v
+from repro.ir.types import BOOL, F32, I64
+
+
+class TestLiterals:
+    def test_lift_int(self):
+        e = S.lift(3)
+        assert isinstance(e, S.Lit) and e.type == I64
+
+    def test_lift_float(self):
+        e = S.lift(3.5)
+        assert isinstance(e, S.Lit) and e.type == F32
+
+    def test_lift_bool(self):
+        e = S.lift(True)
+        assert isinstance(e, S.Lit) and e.type == BOOL
+
+    def test_lift_exp_identity(self):
+        x = v("x")
+        assert S.lift(x) is x
+
+    def test_lift_rejects_junk(self):
+        with pytest.raises(TypeError):
+            S.lift("nope")
+
+
+class TestOperatorSugar:
+    def test_add(self):
+        e = v("x") + 1
+        assert isinstance(e, S.BinOp) and e.op == "+"
+
+    def test_radd(self):
+        e = 1 + v("x")
+        assert isinstance(e, S.BinOp) and isinstance(e.x, S.Lit)
+
+    def test_chain(self):
+        e = v("x") * v("y") + v("z")
+        assert e.op == "+" and e.x.op == "*"
+
+    def test_comparisons(self):
+        assert (v("x").lt(3)).op == "<"
+        assert (v("x").ge(3)).op == ">="
+        assert (v("x").eq(3)).op == "=="
+
+    def test_neg(self):
+        e = -v("x")
+        assert isinstance(e, S.UnOp) and e.op == "neg"
+
+    def test_getitem_single(self):
+        e = v("xs")[0]
+        assert isinstance(e, S.Index) and len(e.idxs) == 1
+
+    def test_getitem_multi(self):
+        e = v("xss")[v("i"), v("j")]
+        assert len(e.idxs) == 2
+
+
+class TestNodeValidation:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            S.BinOp("@@", v("x"), v("y"))
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(ValueError):
+            S.UnOp("frobnicate", v("x"))
+
+    def test_map_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            S.Map(op2("+"), (v("xs"),))
+
+    def test_reduce_operator_arity(self):
+        with pytest.raises(ValueError):
+            S.Reduce(lam(lambda a: a), [f32(0.0)], (v("xs"),))
+
+    def test_reduce_ne_count(self):
+        with pytest.raises(ValueError):
+            S.Reduce(op2("+"), [f32(0.0), f32(1.0)], (v("xs"),))
+
+    def test_scan_operator_arity(self):
+        with pytest.raises(ValueError):
+            S.Scan(lam(lambda a: a), [f32(0.0)], (v("xs"),))
+
+    def test_redomap_arities(self):
+        with pytest.raises(ValueError):
+            S.Redomap(op2("+"), op2("*"), [f32(0.0)], (v("xs"),))
+
+    def test_rearrange_needs_permutation(self):
+        with pytest.raises(ValueError):
+            S.Rearrange((0, 0), v("xss"))
+
+    def test_loop_param_mismatch(self):
+        with pytest.raises(ValueError):
+            S.Loop(("a", "b"), (i64(0),), "i", i64(3), v("a"))
+
+    def test_transpose_is_rearrange(self):
+        e = S.transpose(v("xss"))
+        assert isinstance(e, S.Rearrange) and e.perm == (1, 0)
+
+
+class TestSizeE:
+    def test_from_string(self):
+        e = S.SizeE("n")
+        assert e.size.free_vars() == {"n"}
+
+    def test_from_int(self):
+        e = S.SizeE(4)
+        assert e.size.eval({}) == 4

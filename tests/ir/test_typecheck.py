@@ -1,0 +1,250 @@
+"""Tests for the type checker and the target level validator."""
+
+import pytest
+
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.builder import (
+    f32,
+    i64,
+    if_,
+    iota,
+    lam,
+    loop_,
+    map_,
+    op2,
+    redomap_,
+    reduce_,
+    replicate,
+    scan_,
+    scanomap_,
+    transpose,
+    v,
+)
+from repro.ir.typecheck import TypeError_, typeof, typeof1, validate_levels
+from repro.ir.types import BOOL, F32, F64, I64, array_of
+from repro.sizes import SizeVar
+
+N, M = SizeVar("n"), SizeVar("m")
+ENV = {
+    "xs": array_of(F32, N),
+    "ys": array_of(F32, N),
+    "zs": array_of(F32, M),
+    "xss": array_of(F32, N, M),
+    "k": I64,
+    "b": BOOL,
+}
+
+
+class TestScalars:
+    def test_var(self):
+        assert typeof1(v("k"), ENV) == I64
+
+    def test_unbound(self):
+        with pytest.raises(TypeError_):
+            typeof(v("nope"), ENV)
+
+    def test_binop_join(self):
+        assert typeof1(v("k") + 1, ENV) == I64
+        assert typeof1(f32(1.0) + 1, ENV) == F32  # numeric join: float wins
+
+    def test_comparison_is_bool(self):
+        assert typeof1(v("k").lt(3), ENV) == BOOL
+
+    def test_logical_needs_bool(self):
+        with pytest.raises(TypeError_):
+            typeof(S.BinOp("&&", v("k"), v("b")), ENV)
+
+    def test_binop_on_array_rejected(self):
+        with pytest.raises(TypeError_):
+            typeof(v("xs") + 1, ENV)
+
+    def test_unop_conversion(self):
+        assert typeof1(S.UnOp("to_f64", v("k")), ENV) == F64
+
+
+class TestStructured:
+    def test_let(self):
+        e = S.Let(("a",), v("k") + 1, v("a") * 2)
+        assert typeof1(e, ENV) == I64
+
+    def test_let_arity_mismatch(self):
+        with pytest.raises(TypeError_):
+            typeof(S.Let(("a", "c"), v("k"), v("a")), ENV)
+
+    def test_if(self):
+        assert typeof1(if_(v("b"), v("k"), i64(0)), ENV) == I64
+
+    def test_if_nonbool_cond(self):
+        with pytest.raises(TypeError_):
+            typeof(if_(v("k").eq(v("k")), v("k"), v("k")).cond + 1, ENV)
+
+    def test_if_branch_mismatch(self):
+        with pytest.raises(TypeError_):
+            typeof(if_(v("b"), v("k"), v("xs")), ENV)
+
+    def test_index_full(self):
+        assert typeof1(v("xss")[v("k"), v("k")], ENV) == F32
+
+    def test_index_partial(self):
+        assert typeof1(v("xss")[v("k")], ENV) == array_of(F32, M)
+
+    def test_index_too_deep(self):
+        with pytest.raises(TypeError_):
+            typeof(v("xs")[v("k"), v("k")], ENV)
+
+    def test_index_float_idx(self):
+        with pytest.raises(TypeError_):
+            typeof(v("xs")[f32(0.0)], ENV)
+
+    def test_iota(self):
+        assert typeof1(iota(v("k")), ENV) == array_of(I64, SizeVar("k"))
+
+    def test_replicate(self):
+        assert typeof1(replicate(i64(4), v("xs")), ENV) == array_of(F32, 4, N)
+
+    def test_rearrange(self):
+        assert typeof1(transpose(v("xss")), ENV) == array_of(F32, M, N)
+
+    def test_rearrange_rank_mismatch(self):
+        with pytest.raises(TypeError_):
+            typeof(S.Rearrange((1, 0), v("xs")), ENV)
+
+    def test_loop(self):
+        e = loop_([f32(0.0)], v("k"), lambda i, a: a + 1.0)
+        assert typeof1(e, ENV) == F32
+
+    def test_loop_param_type_drift(self):
+        e = S.Loop(("a",), (f32(0.0),), "i", v("k"), v("xs"))
+        with pytest.raises(TypeError_):
+            typeof(e, ENV)
+
+
+class TestSoacs:
+    def test_map(self):
+        e = map_(lambda x: x * 2.0, v("xs"))
+        assert typeof1(e, ENV) == array_of(F32, N)
+
+    def test_map_multi(self):
+        e = map_(lambda x, y: (x + y, x * y), v("xs"), v("ys"))
+        ts = typeof(e, ENV)
+        assert ts == (array_of(F32, N), array_of(F32, N))
+
+    def test_map_size_mismatch_constant(self):
+        env = dict(ENV, a=array_of(F32, 3), c=array_of(F32, 4))
+        with pytest.raises(TypeError_):
+            typeof(map_(lambda x, y: x + y, v("a"), v("c")), env)
+
+    def test_map_over_scalar(self):
+        with pytest.raises(TypeError_):
+            typeof(map_(lambda x: x, v("k")), ENV)
+
+    def test_reduce(self):
+        assert typeof1(reduce_(op2("+"), f32(0.0), v("xs")), ENV) == F32
+
+    def test_reduce_ne_type_mismatch(self):
+        with pytest.raises(TypeError_):
+            typeof(reduce_(op2("+"), v("b"), v("xs")), ENV)
+
+    def test_scan(self):
+        assert typeof1(scan_(op2("+"), f32(0.0), v("xs")), ENV) == array_of(F32, N)
+
+    def test_redomap(self):
+        e = redomap_(op2("+"), lambda x, y: x * y, f32(0.0), v("xs"), v("ys"))
+        assert typeof1(e, ENV) == F32
+
+    def test_scanomap(self):
+        e = scanomap_(op2("+"), lambda x: x * 2.0, f32(0.0), v("xs"))
+        assert typeof1(e, ENV) == array_of(F32, N)
+
+    def test_nested_map(self):
+        e = map_(lambda row: map_(lambda x: x + 1.0, row), v("xss"))
+        assert typeof1(e, ENV) == array_of(F32, N, M)
+
+
+class TestSegOps:
+    def _ctx1(self):
+        return T.Ctx([T.Binding(("x",), (v("xs"),), N)])
+
+    def _ctx2(self):
+        return T.Ctx(
+            [
+                T.Binding(("row",), (v("xss"),), N),
+                T.Binding(("x",), (v("row"),), M),
+            ]
+        )
+
+    def test_segmap(self):
+        e = T.SegMap(1, self._ctx1(), v("x") + 1.0)
+        assert typeof1(e, ENV) == array_of(F32, N)
+
+    def test_segmap_nested_ctx(self):
+        e = T.SegMap(1, self._ctx2(), v("x") * 2.0)
+        assert typeof1(e, ENV) == array_of(F32, N, M)
+
+    def test_segred_reduces_innermost(self):
+        e = T.SegRed(1, self._ctx2(), op2("+"), [f32(0.0)], v("x"))
+        assert typeof1(e, ENV) == array_of(F32, N)
+
+    def test_segscan_keeps_shape(self):
+        e = T.SegScan(1, self._ctx2(), op2("+"), [f32(0.0)], v("x"))
+        assert typeof1(e, ENV) == array_of(F32, N, M)
+
+    def test_segmap_needs_context(self):
+        with pytest.raises(ValueError):
+            T.SegMap(1, T.Ctx(), v("x"))
+
+    def test_parcmp_is_bool(self):
+        assert typeof1(T.ParCmp(N, "t0"), ENV) == BOOL
+
+
+class TestValidateLevels:
+    def _ctx(self, params, arrays, size):
+        return T.Ctx([T.Binding(params, arrays, size)])
+
+    def test_flat_ok(self):
+        e = T.SegMap(1, self._ctx(("x",), (v("xs"),), N), v("x") + 1.0)
+        validate_levels(e, 1)
+
+    def test_level_too_high(self):
+        e = T.SegMap(1, self._ctx(("x",), (v("xs"),), N), v("x"))
+        with pytest.raises(TypeError_):
+            validate_levels(e, 0)
+
+    def test_level0_must_be_sequential(self):
+        inner = T.SegMap(0, self._ctx(("y",), (v("x"),), M), v("y"))
+        outer = T.SegMap(0, self._ctx(("x",), (v("xss"),), N), inner)
+        with pytest.raises(TypeError_):
+            validate_levels(outer, 1)
+
+    def test_proper_nesting_ok(self):
+        inner = T.SegMap(0, self._ctx(("y",), (v("x"),), M), v("y") + 1.0)
+        outer = T.SegMap(1, self._ctx(("x",), (v("xss"),), N), inner)
+        validate_levels(outer, 1)
+
+    def test_same_level_nesting_rejected(self):
+        inner = T.SegMap(1, self._ctx(("y",), (v("x"),), M), v("y"))
+        outer = T.SegMap(1, self._ctx(("x",), (v("xss"),), N), inner)
+        with pytest.raises(TypeError_):
+            validate_levels(outer, 1)
+
+    def test_parallel_operator_rejected(self):
+        seg = T.SegRed(
+            0, self._ctx(("z",), (v("zs"),), M), op2("+"), [f32(0.0)], v("z")
+        )
+        bad_op = S.Lambda(("a", "b"), seg)
+        e = T.SegRed(1, self._ctx(("x",), (v("xs"),), N), bad_op, [f32(0.0)], v("x"))
+        with pytest.raises(TypeError_):
+            validate_levels(e, 1)
+
+    def test_sequential_soac_in_operator_allowed(self):
+        # source SOACs are *sequential* in the target language, so a reduce
+        # inside an operator is fine
+        op = lam(lambda a, b: reduce_(op2("+"), f32(0.0), v("zs")))
+        e = T.SegRed(1, self._ctx(("x",), (v("xs"),), N), op, [f32(0.0)], v("x"))
+        validate_levels(e, 1)
+
+    def test_sequential_soacs_allowed_anywhere(self):
+        body = reduce_(op2("+"), f32(0.0), v("zs"))
+        e = T.SegMap(1, self._ctx(("x",), (v("xs"),), N), body)
+        validate_levels(e, 1)

@@ -1,0 +1,90 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    ArrayType,
+    array_of,
+    elem_type,
+    peel,
+    rank,
+    wrap,
+)
+from repro.sizes import SizeVar
+
+
+class TestScalarTypes:
+    def test_identity(self):
+        assert F32 == F32
+        assert F32 != F64
+
+    def test_widths(self):
+        assert F32.nbytes == 4
+        assert F64.nbytes == 8
+        assert I64.nbytes == 8
+        assert BOOL.nbytes == 1
+
+    def test_classification(self):
+        assert F32.is_float and not F32.is_integral
+        assert I32.is_integral and not I32.is_float
+        assert not BOOL.is_float and not BOOL.is_integral
+
+    def test_hashable(self):
+        assert len({F32, F64, F32}) == 2
+
+
+class TestArrayTypes:
+    def test_construction(self):
+        t = array_of(F32, "n", "m")
+        assert t.rank == 2
+        assert t.elem == F32
+        assert t.outer_size == SizeVar("n")
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType((), F32)
+
+    def test_row_type_vector(self):
+        t = array_of(F32, "n")
+        assert t.row_type() == F32
+
+    def test_row_type_matrix(self):
+        t = array_of(F32, "n", "m")
+        assert t.row_type() == array_of(F32, "m")
+
+    def test_nested_array_of(self):
+        inner = array_of(F32, "m")
+        t = array_of(inner, "n")
+        assert t == array_of(F32, "n", "m")
+
+    def test_equality(self):
+        assert array_of(F32, "n") == array_of(F32, "n")
+        assert array_of(F32, "n") != array_of(F32, "m")
+        assert array_of(F32, "n") != array_of(F64, "n")
+
+    def test_repr(self):
+        assert repr(array_of(F32, "n", 4)) == "[n][4]f32"
+
+
+class TestHelpers:
+    def test_rank(self):
+        assert rank(F32) == 0
+        assert rank(array_of(F32, "n", "m")) == 2
+
+    def test_elem_type(self):
+        assert elem_type(F32) == F32
+        assert elem_type(array_of(I32, "n")) == I32
+
+    def test_peel(self):
+        assert peel(array_of(F32, "n", "m")) == array_of(F32, "m")
+        with pytest.raises(TypeError):
+            peel(F32)
+
+    def test_wrap(self):
+        assert wrap(F32, "n") == array_of(F32, "n")
+        assert wrap(array_of(F32, "m"), "n") == array_of(F32, "n", "m")

@@ -1,0 +1,122 @@
+"""Producer/consumer fusion tests."""
+
+import numpy as np
+
+from repro.interp import Evaluator
+from repro.ir import source as S
+from repro.ir.builder import f32, let_, map_, op2, reduce_, scan_, v
+from repro.ir.traverse import walk
+from repro.passes import fuse, normalize
+
+EV = Evaluator()
+
+
+def kinds(e):
+    return [type(n).__name__ for n in walk(e)]
+
+
+class TestMapReduce:
+    def test_fuses_to_redomap(self):
+        e = let_(
+            map_(lambda x: x * x, v("xs")),
+            lambda ys: reduce_(op2("+"), f32(0.0), ys),
+        )
+        out = fuse(normalize(e))
+        ks = kinds(out)
+        assert "Redomap" in ks
+        assert "Reduce" not in ks and "Map" not in ks
+
+    def test_preserves_semantics(self):
+        xs = np.asarray([1.0, 2.0, 3.0], np.float32)
+        e = let_(
+            map_(lambda x: x * x, v("xs")),
+            lambda ys: reduce_(op2("+"), f32(0.0), ys),
+        )
+        out = fuse(normalize(e))
+        assert EV.eval1(e, {"xs": xs}) == EV.eval1(out, {"xs": xs})
+
+    def test_no_fuse_when_used_twice(self):
+        e = let_(
+            map_(lambda x: x * x, v("xs")),
+            lambda ys: reduce_(op2("+"), f32(0.0), ys) + ys[0],
+        )
+        out = fuse(normalize(e))
+        assert "Redomap" not in kinds(out)
+
+    def test_no_fuse_reordered_args(self):
+        e = S.Let(
+            ("a", "b"),
+            map_(lambda x: (x, x * 2.0), v("xs")),
+            reduce_(
+                S.Lambda(("p", "q", "r", "s"), S.TupleExp([v("p") + v("r"), v("q") + v("s")])),
+                [f32(0.0), f32(0.0)],
+                v("b"),
+                v("a"),  # reversed order: conservative fusion must decline
+            ),
+        )
+        out = fuse(e)
+        assert "Redomap" not in kinds(out)
+
+
+class TestMapScan:
+    def test_fuses_to_scanomap(self):
+        e = let_(
+            map_(lambda x: x + 1.0, v("xs")),
+            lambda ys: scan_(op2("+"), f32(0.0), ys),
+        )
+        out = fuse(normalize(e))
+        assert "Scanomap" in kinds(out)
+
+    def test_preserves_semantics(self):
+        xs = np.asarray([3.0, 1.0, 2.0], np.float32)
+        e = let_(
+            map_(lambda x: x + 1.0, v("xs")),
+            lambda ys: scan_(op2("max"), f32(-1e9), ys),
+        )
+        out = fuse(normalize(e))
+        assert np.array_equal(EV.eval1(e, {"xs": xs}), EV.eval1(out, {"xs": xs}))
+
+
+class TestMapMap:
+    def test_vertical_fusion(self):
+        e = let_(
+            map_(lambda x: x * 2.0, v("xs")),
+            lambda ys: map_(lambda y: y + 1.0, ys),
+        )
+        out = fuse(normalize(e))
+        maps = [n for n in walk(out) if type(n) is S.Map]
+        assert len(maps) == 1
+
+    def test_vertical_fusion_semantics(self):
+        xs = np.asarray([1.0, 2.0], np.float32)
+        e = let_(
+            map_(lambda x: x * 2.0, v("xs")),
+            lambda ys: map_(lambda y: y + 1.0, ys),
+        )
+        out = fuse(normalize(e))
+        assert np.array_equal(EV.eval1(e, {"xs": xs}), EV.eval1(out, {"xs": xs}))
+
+    def test_chain_of_three(self):
+        e = let_(
+            map_(lambda x: x * 2.0, v("xs")),
+            lambda ys: let_(
+                map_(lambda y: y + 1.0, ys),
+                lambda zs: map_(lambda z: z * z, zs),
+            ),
+        )
+        out = fuse(normalize(e))
+        maps = [n for n in walk(out) if type(n) is S.Map]
+        assert len(maps) == 1
+        xs = np.asarray([1.0, 3.0], np.float32)
+        assert np.array_equal(
+            EV.eval1(e, {"xs": xs}), EV.eval1(out, {"xs": xs})
+        )
+
+    def test_fusion_inside_lambda(self):
+        inner = let_(
+            map_(lambda x: x * 2.0, v("row")),
+            lambda ys: reduce_(op2("+"), f32(0.0), ys),
+        )
+        e = S.Map(S.Lambda(("row",), normalize(inner)), (v("xss"),))
+        out = fuse(e)
+        assert "Redomap" in kinds(out)

@@ -1,0 +1,136 @@
+"""Simplifier tests: folding, propagation, dead code, identity segmaps."""
+
+import numpy as np
+
+from repro.interp import Evaluator
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.builder import f32, i64, if_, let_, map_, op2, v
+from repro.ir.traverse import walk
+from repro.passes import simplify
+from repro.sizes import SizeVar
+
+EV = Evaluator()
+
+
+class TestConstantFolding:
+    def test_arith(self):
+        out = simplify(i64(2) + i64(3))
+        assert isinstance(out, S.Lit) and out.value == 5
+
+    def test_add_zero(self):
+        out = simplify(v("x") + i64(0))
+        assert isinstance(out, S.Var)
+
+    def test_mul_one(self):
+        out = simplify(f32(1.0) * v("x"))
+        assert isinstance(out, S.Var)
+
+    def test_if_const_cond(self):
+        out = simplify(if_(S.lift(True), v("a"), v("b")))
+        assert isinstance(out, S.Var) and out.name == "a"
+
+    def test_division_by_zero_not_folded(self):
+        e = i64(1) / i64(0)
+        out = simplify(e)
+        assert isinstance(out, S.BinOp)
+
+
+class TestLets:
+    def test_copy_propagation(self):
+        e = S.Let(("a",), v("x"), v("a") + v("a"))
+        out = simplify(e)
+        assert not isinstance(out, S.Let)
+        assert {n.name for n in walk(out) if isinstance(n, S.Var)} == {"x"}
+
+    def test_tuple_copy_propagation(self):
+        e = S.Let(("a", "b"), S.TupleExp([v("x"), v("y")]), v("a") + v("b"))
+        out = simplify(e)
+        assert not isinstance(out, S.Let)
+
+    def test_dead_let_removed(self):
+        e = S.Let(("unused",), map_(lambda x: x, v("xs")), v("y"))
+        out = simplify(e)
+        assert isinstance(out, S.Var)
+
+    def test_live_let_kept(self):
+        e = let_(v("x") + v("y"), lambda a: a * a)
+        out = simplify(e)
+        assert isinstance(out, S.Let)
+
+    def test_semantics_preserved(self):
+        e = S.Let(("a",), v("x") * i64(1), v("a") + i64(0))
+        out = simplify(e)
+        assert EV.eval1(e, {"x": np.int64(7)}) == EV.eval1(out, {"x": np.int64(7)})
+
+
+class TestIdentitySegmap:
+    def test_single_level(self):
+        ctx = T.Ctx([T.Binding(("x",), (v("xs"),), SizeVar("n"))])
+        e = T.SegMap(1, ctx, v("x"))
+        out = simplify(e)
+        assert isinstance(out, S.Var) and out.name == "xs"
+
+    def test_two_level_chain(self):
+        ctx = T.Ctx(
+            [
+                T.Binding(("row",), (v("xss"),), SizeVar("n")),
+                T.Binding(("x",), (v("row"),), SizeVar("m")),
+            ]
+        )
+        e = T.SegMap(1, ctx, v("x"))
+        out = simplify(e)
+        assert isinstance(out, S.Var) and out.name == "xss"
+
+    def test_tuple_identity(self):
+        ctx = T.Ctx(
+            [T.Binding(("a", "b"), (v("as_"), v("bs")), SizeVar("n"))]
+        )
+        e = T.SegMap(1, ctx, S.TupleExp([v("a"), v("b")]))
+        out = simplify(e)
+        assert isinstance(out, S.TupleExp)
+
+    def test_non_identity_untouched(self):
+        ctx = T.Ctx([T.Binding(("x",), (v("xs"),), SizeVar("n"))])
+        e = T.SegMap(1, ctx, v("x") + 1.0)
+        out = simplify(e)
+        assert isinstance(out, T.SegMap)
+
+    def test_replication_not_eliminated(self):
+        # segmap ⟨x∈xs⟩⟨y∈ys⟩ (x) replicates x along y — NOT an identity
+        ctx = T.Ctx(
+            [
+                T.Binding(("x",), (v("xs"),), SizeVar("n")),
+                T.Binding(("y",), (v("ys"),), SizeVar("m")),
+            ]
+        )
+        e = T.SegMap(1, ctx, v("x"))
+        out = simplify(e)
+        assert isinstance(out, T.SegMap)
+
+
+class TestCtxPruning:
+    def test_unused_binding_param_dropped(self):
+        ctx = T.Ctx(
+            [T.Binding(("x", "unused"), (v("xs"), v("ys")), SizeVar("n"))]
+        )
+        e = T.SegMap(1, ctx, v("x") + 1.0)
+        out = simplify(e)
+        assert out.ctx.bindings[0].params == ("x",)
+
+    def test_at_least_one_param_kept(self):
+        ctx = T.Ctx([T.Binding(("x",), (v("xs"),), SizeVar("n"))])
+        e = T.SegMap(1, ctx, f32(1.0))
+        out = simplify(e)
+        assert len(out.ctx.bindings[0].params) == 1
+
+    def test_param_used_by_inner_binding_kept(self):
+        ctx = T.Ctx(
+            [
+                T.Binding(("row",), (v("xss"),), SizeVar("n")),
+                T.Binding(("x",), (v("row"),), SizeVar("m")),
+            ]
+        )
+        e = T.SegMap(1, ctx, v("x") * 2.0)
+        out = simplify(e)
+        assert out.ctx.bindings[0].params == ("row",)

@@ -1,0 +1,131 @@
+"""CLI tests (direct main() invocation)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        code, out = run(capsys, "list")
+        assert code == 0
+        for name in ("matmul", "LocVolCalib", "Heston", "Pathfinder"):
+            assert name in out
+
+
+class TestShow:
+    def test_show_moderate(self, capsys):
+        code, out = run(capsys, "show", "matmul", "--mode", "moderate")
+        assert code == 0
+        assert "segmap^1" in out
+        assert "redomap" in out
+
+    def test_show_incremental_tree(self, capsys):
+        code, out = run(capsys, "show", "matmul", "--tree")
+        assert code == 0
+        assert "t0" in out and "V0" in out
+
+    def test_case_insensitive(self, capsys):
+        code, _ = run(capsys, "show", "locvolcalib", "--mode", "moderate")
+        assert code == 0
+
+    def test_unknown_program(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["show", "does-not-exist"])
+
+    def test_show_parsed_file(self, capsys, tmp_path):
+        f = tmp_path / "sumsq.fut"
+        f.write_text(
+            "def sumsq(xss: [n][m]f32) =\n"
+            "  map (\\row -> redomap (+) (\\x -> x * x) 0.0 row) xss\n"
+        )
+        code, out = run(capsys, "show", str(f))
+        assert code == 0
+        assert "segred" in out or "segmap" in out
+
+
+class TestRun:
+    def test_run_matmul(self, capsys):
+        code, out = run(capsys, "run", "matmul", "--size", "n=3,m=4")
+        assert code == 0
+        assert "shape=(3, 3)" in out
+
+    def test_run_deterministic_seed(self, capsys):
+        _, a = run(capsys, "run", "matmul", "--size", "n=2,m=2", "--seed", "7")
+        _, b = run(capsys, "run", "matmul", "--size", "n=2,m=2", "--seed", "7")
+        assert a == b
+
+    def test_run_with_thresholds(self, capsys):
+        code, _ = run(
+            capsys, "run", "matmul", "--size", "n=2,m=2",
+            "--threshold", "t0=1",
+        )
+        assert code == 0
+
+
+class TestSimulate:
+    def test_simulate(self, capsys):
+        code, out = run(capsys, "simulate", "matmul", "--size", "n=64,m=64")
+        assert code == 0
+        assert "ms" in out and "kernels" in out
+
+    def test_simulate_vega(self, capsys):
+        _, k40 = run(capsys, "simulate", "matmul", "--size", "n=64,m=64")
+        _, vega = run(
+            capsys, "simulate", "matmul", "--size", "n=64,m=64",
+            "--device", "Vega64",
+        )
+        assert k40 != vega
+
+    def test_kernel_breakdown(self, capsys):
+        code, out = run(
+            capsys, "simulate", "matmul", "--size", "n=64,m=64", "--kernels"
+        )
+        assert code == 0
+        assert "lvl" in out
+
+    def test_bad_size_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "matmul", "--size", "n:64"])
+
+
+class TestTune:
+    def test_exhaustive(self, capsys):
+        code, out = run(
+            capsys, "tune", "matmul",
+            "--dataset", "n=4,m=65536", "--dataset", "n=1024,m=32",
+            "--technique", "exhaustive",
+        )
+        assert code == 0
+        assert "best thresholds" in out
+
+    def test_stochastic(self, capsys):
+        code, out = run(
+            capsys, "tune", "matmul",
+            "--dataset", "n=32,m=1024",
+            "--technique", "random", "--proposals", "50",
+        )
+        assert code == 0
+        assert "dedup" in out
+
+    def test_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "matmul"])
+
+
+class TestFigures:
+    def test_fig2_subset(self, capsys):
+        code, out = run(capsys, "figures", "fig2")
+        assert code == 0
+        assert "Figure 2" in out and "vendor" in out
+
+    def test_code_subset(self, capsys):
+        code, out = run(capsys, "figures", "code")
+        assert code == 0
+        assert "Code expansion" in out

@@ -1,0 +1,147 @@
+"""Pseudo-OpenCL code generator tests."""
+
+import pytest
+
+from repro.codegen import generate_opencl
+from repro.compiler import compile_program
+from repro.ir import target as T
+from repro.ir.traverse import walk
+from repro.ir.typecheck import _top_segops
+
+from repro.bench.programs.backprop import backprop_program
+from repro.bench.programs.heston import heston_program
+from repro.bench.programs.lavamd import lavamd_program
+from repro.bench.programs.locvolcalib import locvolcalib_program
+from repro.bench.programs.matmul import matmul_program
+from repro.bench.programs.nn import nn_program
+from repro.bench.programs.nw import nw_program
+from repro.bench.programs.optionpricing import optionpricing_program
+from repro.bench.programs.pathfinder import pathfinder_program
+from repro.bench.programs.srad import srad_program
+
+ALL = {
+    "matmul": matmul_program,
+    "locvolcalib": locvolcalib_program,
+    "optionpricing": optionpricing_program,
+    "heston": heston_program,
+    "backprop": backprop_program,
+    "lavamd": lavamd_program,
+    "nn": nn_program,
+    "nw": nw_program,
+    "srad": srad_program,
+    "pathfinder": pathfinder_program,
+}
+
+
+@pytest.mark.parametrize("name", list(ALL))
+@pytest.mark.parametrize("mode", ("moderate", "incremental", "full"))
+def test_generates_for_all_benchmarks(name, mode):
+    cp = compile_program(ALL[name](), mode)
+    code = generate_opencl(cp)
+    assert code.num_kernels >= 1
+    assert code.loc > 10
+    assert f"{name}_main" in code.host
+
+
+class TestStructure:
+    def test_one_kernel_per_launchable_segop(self):
+        cp = compile_program(matmul_program(), "incremental")
+        code = generate_opencl(cp)
+        # matmul's incremental code has 5 version leaves = 5 kernels
+        assert code.num_kernels == 5
+        assert code.host.count("launch1d") == 5
+
+    def test_thresholds_in_host_dispatch(self):
+        cp = compile_program(matmul_program(), "incremental")
+        code = generate_opencl(cp)
+        for t in cp.thresholds():
+            assert t in code.host
+
+    def test_moderate_has_no_dispatch(self):
+        cp = compile_program(matmul_program(), "moderate")
+        code = generate_opencl(cp)
+        assert "if (" not in code.host
+
+    def test_intra_kernels_use_local_memory(self):
+        cp = compile_program(locvolcalib_program(), "incremental")
+        code = generate_opencl(cp)
+        locals_ = [src for _, src in code.kernels if "__local" in src]
+        assert locals_, "middle versions must stage data in local memory"
+        for src in locals_:
+            assert "barrier(CLK_LOCAL_MEM_FENCE)" in src
+
+    def test_kernel_names_unique(self):
+        cp = compile_program(locvolcalib_program(), "incremental")
+        code = generate_opencl(cp)
+        names = [n for n, _ in code.kernels]
+        assert len(names) == len(set(names))
+
+    def test_host_loop_for_timesteps(self):
+        cp = compile_program(locvolcalib_program(), "moderate")
+        code = generate_opencl(cp)
+        assert "for (long" in code.host  # the interchanged numT loop
+
+    def test_gid_decomposition_multi_dim(self):
+        cp = compile_program(matmul_program(), "moderate")
+        code = generate_opencl(cp)
+        (_, src), = [k for k in code.kernels]
+        assert "get_global_id(0)" in src
+        assert "i0" in src and "i1" in src  # two context dimensions
+
+    def test_full_source_concatenates(self):
+        cp = compile_program(matmul_program(), "moderate")
+        code = generate_opencl(cp)
+        full = code.full_source()
+        assert code.host in full
+        for name, _ in code.kernels:
+            assert name in full
+
+
+class TestSizeMetric:
+    def test_incremental_generates_more_code(self):
+        for name in ("matmul", "locvolcalib", "heston"):
+            mf = generate_opencl(compile_program(ALL[name](), "moderate"))
+            inc = generate_opencl(compile_program(ALL[name](), "incremental"))
+            assert inc.loc > mf.loc
+            assert inc.num_kernels >= mf.num_kernels
+
+    def test_loc_ratio_in_paper_range(self):
+        """§5.1: ~3x larger binaries (abstract: as high as 4x)."""
+        ratios = []
+        for name in ALL:
+            mf = generate_opencl(compile_program(ALL[name](), "moderate"))
+            inc = generate_opencl(compile_program(ALL[name](), "incremental"))
+            ratios.append(inc.loc / mf.loc)
+        avg = sum(ratios) / len(ratios)
+        assert 1.5 <= avg <= 6
+
+
+class TestIntrinsics:
+    def test_intrinsic_renders_as_call(self):
+        import repro.bench.references  # registers thomas_tridag
+
+        from repro.ir.builder import Program, intrinsic, map_, v
+        from repro.ir.types import F32, array_of
+        from repro.sizes import SizeVar
+
+        n = SizeVar("n")
+        prog = Program(
+            "p",
+            [("xss", array_of(F32, n, 8))],
+            map_(lambda row: intrinsic("thomas_tridag", row), v("xss")),
+        )
+        code = generate_opencl(compile_program(prog, "moderate"))
+        assert "thomas_tridag(" in code.full_source()
+
+
+class TestParsedPrograms:
+    def test_fut_file_to_opencl(self, tmp_path):
+        from repro.parser import parse_program
+
+        src = (
+            "def sumrows(xss: [n][m]f32) =\n"
+            "  map (\\row -> reduce (+) 0.0 row) xss\n"
+        )
+        cp = compile_program(parse_program(src), "incremental")
+        code = generate_opencl(cp)
+        assert code.num_kernels >= 2  # at least segred + one more version

@@ -1,0 +1,166 @@
+"""Tests of the top-level compilation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompiledProgram, compile_program
+from repro.gpu import K40, VEGA64
+from repro.ir import source as S
+from repro.ir.builder import Program, f32, map_, op2, redomap_, v
+from repro.ir.types import F32, array_of
+from repro.sizes import SizeVar
+
+from repro.bench.programs.matmul import matmul_program, matmul_sizes
+
+
+@pytest.fixture(scope="module")
+def matmul_if():
+    return compile_program(matmul_program(), "incremental")
+
+
+class TestPipeline:
+    def test_modes(self):
+        for mode in ("moderate", "incremental", "full"):
+            cp = compile_program(matmul_program(), mode)
+            assert cp.mode == mode
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            compile_program(matmul_program(), "turbo")
+
+    def test_compile_seconds_recorded(self, matmul_if):
+        assert matmul_if.compile_seconds > 0
+
+    def test_thresholds_exposed(self, matmul_if):
+        assert matmul_if.thresholds() == ["t0", "t1", "t2", "t3"]
+
+    def test_check_passes(self, matmul_if):
+        matmul_if.check()
+
+    def test_fusion_toggle(self):
+        n = SizeVar("n")
+        prog = Program(
+            "p",
+            [("xs", array_of(F32, n))],
+            S.Let(
+                ("ys",),
+                map_(lambda x: x * x, v("xs")),
+                S.Reduce(op2("+"), [f32(0.0)], (S.Var("ys"),)),
+            ),
+        )
+        fused = compile_program(prog, "moderate", do_fuse=True)
+        unfused = compile_program(prog, "moderate", do_fuse=False)
+        # with fusion a redomap forms (manifested segred); without, the map
+        # and reduce are flattened separately
+        assert fused.code_size() != unfused.code_size()
+
+    def test_simplify_toggle(self, matmul_if):
+        raw = compile_program(matmul_program(), "incremental", do_simplify=False)
+        assert raw.code_size() >= matmul_if.code_size()
+
+
+class TestCompiledProgram:
+    def test_run(self, matmul_if):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((3, 4)).astype(np.float32)
+        B = rng.standard_normal((4, 3)).astype(np.float32)
+        (out,) = matmul_if.run({"xss": A, "yss": B})
+        assert np.allclose(out, A @ B, rtol=1e-5)
+
+    def test_run_with_thresholds(self, matmul_if):
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((3, 4)).astype(np.float32)
+        B = rng.standard_normal((4, 3)).astype(np.float32)
+        (a,) = matmul_if.run({"xss": A, "yss": B}, thresholds={"t0": 1})
+        (b,) = matmul_if.run({"xss": A, "yss": B}, thresholds={"t0": 2**30})
+        assert np.allclose(a, b)
+
+    def test_simulate_on_both_devices(self, matmul_if):
+        s = matmul_sizes(5, 20)
+        t1 = matmul_if.simulate(s, K40).time
+        t2 = matmul_if.simulate(s, VEGA64).time
+        assert t1 > 0 and t2 > 0 and t1 != t2
+
+    def test_simulate_threshold_sensitivity(self, matmul_if):
+        s = matmul_sizes(0, 20)  # degenerate: version choice matters a lot
+        t_top = matmul_if.simulate(s, K40, thresholds={"t2": 1}).time
+        t_flat = matmul_if.simulate(
+            s, K40, thresholds={t: 2**30 for t in matmul_if.thresholds()}
+        ).time
+        assert t_top > 10 * t_flat
+
+    def test_branching_trees_exposed(self, matmul_if):
+        assert len(matmul_if.branching_trees()) == 1
+
+    def test_code_size_positive(self, matmul_if):
+        assert matmul_if.code_size() > 20
+
+
+class TestMultiLevel:
+    """The formalisation is generic in the number of hardware levels; the
+    engine supports more than the GPU's two (paper: 'a solid foundation for
+    approaching other types of heterogeneous hardware')."""
+
+    def _deep_prog(self):
+        n, m, k = SizeVar("n"), SizeVar("m"), SizeVar("k")
+        body = map_(
+            lambda mat: map_(
+                lambda row: redomap_(op2("+"), lambda x: x * x, f32(0.0), row),
+                mat,
+            ),
+            v("cube"),
+        )
+        return Program("deep", [("cube", array_of(F32, n, m, k))], body)
+
+    def test_three_level_flattening_validates(self):
+        from repro.ir.typecheck import validate_levels
+
+        cp = compile_program(self._deep_prog(), "incremental", num_levels=3)
+        validate_levels(cp.body, 2)
+
+    def test_three_levels_more_versions_than_two(self):
+        two = compile_program(self._deep_prog(), "incremental", num_levels=2)
+        three = compile_program(self._deep_prog(), "incremental", num_levels=3)
+        assert len(three.registry) > len(two.registry)
+        assert three.code_size() > two.code_size()
+
+    def test_three_level_semantics(self):
+        prog = self._deep_prog()
+        cp = compile_program(prog, "incremental", num_levels=3)
+        rng = np.random.default_rng(2)
+        cube = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        from repro.interp import run_program
+
+        ref = run_program(prog, {"cube": cube})
+        got = run_program(prog, {"cube": cube}, body=cp.body)
+        assert np.allclose(ref[0], got[0], rtol=1e-5)
+
+    def test_code_growth_with_depth(self):
+        """§3.2: 'the number of generated code versions is exponential in
+        the depth of the parallel nest' — but statically bounded."""
+        sizes = []
+        for levels in (2, 3, 4):
+            cp = compile_program(self._deep_prog(), "incremental", num_levels=levels)
+            sizes.append(cp.code_size())
+        assert sizes[0] < sizes[1] <= sizes[2] * 1.01
+
+
+class TestTypePreservation:
+    """Behavioural analogue of the paper's type-preservation theorem."""
+
+    @pytest.mark.parametrize("mode", ("moderate", "incremental", "full"))
+    def test_result_types_preserved(self, mode):
+        from repro.ir.typecheck import typeof
+
+        from repro.bench.programs.locvolcalib import locvolcalib_program
+
+        for mk in (matmul_program, locvolcalib_program):
+            prog = mk()
+            src_ts = typeof(prog.body, prog.type_env())
+            cp = compile_program(prog, mode)
+            out_ts = typeof(cp.body, prog.type_env())
+            assert len(src_ts) == len(out_ts)
+            for a, b in zip(src_ts, out_ts):
+                assert type(a) is type(b)
+                if hasattr(a, "rank"):
+                    assert a.rank == b.rank and a.elem == b.elem

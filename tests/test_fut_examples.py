@@ -1,0 +1,101 @@
+"""The textual example programs parse, compile in every mode, and compute
+the right values (numpy oracles)."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_program
+from repro.interp import run_program
+from repro.parser import parse_program
+
+HERE = os.path.dirname(__file__)
+PROGRAMS = sorted(
+    glob.glob(os.path.join(HERE, "..", "examples", "programs", "*.fut"))
+)
+
+
+def load(name):
+    (path,) = [p for p in PROGRAMS if p.endswith(name)]
+    with open(path) as fh:
+        return parse_program(fh.read())
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=os.path.basename)
+def test_parses_and_compiles_all_modes(path):
+    with open(path) as fh:
+        prog = parse_program(fh.read())
+    prog.check()
+    for mode in ("moderate", "incremental", "full"):
+        compile_program(prog, mode).check()
+
+
+def test_at_least_four_programs():
+    assert len(PROGRAMS) >= 4
+
+
+class TestSemantics:
+    def test_matmul(self):
+        prog = load("matmul.fut")
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((4, 6)).astype(np.float32)
+        B = rng.standard_normal((6, 4)).astype(np.float32)
+        (out,) = run_program(prog, {"xss": A, "yss": B})
+        assert np.allclose(out, A @ B, rtol=1e-5)
+
+    def test_sumrows(self):
+        prog = load("sumrows.fut")
+        X = np.arange(12, dtype=np.float32).reshape(3, 4)
+        (out,) = run_program(prog, {"xss": X})
+        assert np.allclose(out, X.sum(axis=1))
+
+    def test_mps(self):
+        prog = load("mss.fut")
+        X = np.asarray([[1, -2, 3], [-1, -1, -1]], np.float32)
+        (out,) = run_program(prog, {"xss": X})
+        assert np.allclose(out, [2.0, 0.0])  # max prefix sum, floor 0
+
+    def test_heat(self):
+        prog = load("heat.fut")
+        rng = np.random.default_rng(1)
+        rows = rng.uniform(0, 1, (2, 5)).astype(np.float32)
+        (out,) = run_program(
+            prog, {"rows": rows, "steps": 2, "w_": 5}
+        )
+        ref = rows.copy()
+        for _ in range(2):
+            nxt = np.empty_like(ref)
+            for b in range(2):
+                for j in range(5):
+                    nxt[b, j] = np.float32(
+                        (
+                            ref[b, max(j - 1, 0)]
+                            + ref[b, j]
+                            + ref[b, min(j + 1, 4)]
+                        )
+                        / np.float32(3.0)
+                    )
+            ref = nxt
+        assert np.allclose(out, ref, rtol=1e-5)
+
+    @pytest.mark.parametrize("name", ["matmul.fut", "sumrows.fut", "mss.fut"])
+    def test_incremental_equivalence(self, name):
+        prog = load(name)
+        cp = compile_program(prog, "incremental")
+        rng = np.random.default_rng(2)
+        inputs = {}
+        from repro.ir.types import ArrayType
+
+        sizes = {"n": 3, "m": 4, "b": 2, "w": 5}
+        for pname, t in prog.params:
+            if isinstance(t, ArrayType):
+                shape = tuple(d.eval(sizes) for d in t.shape)
+                inputs[pname] = rng.standard_normal(shape).astype(np.float32)
+            else:
+                inputs[pname] = 2
+        ref = run_program(prog, inputs, sizes=sizes)
+        got = run_program(prog, inputs, body=cp.body, sizes=sizes)
+        for r, g in zip(ref, got):
+            assert np.allclose(r, g, rtol=1e-5)

@@ -1,0 +1,271 @@
+"""Parser tests: grammar coverage, precedence, errors, and agreement with
+the builder-constructed benchmark programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interp import Evaluator, run_program
+from repro.ir import source as S
+from repro.ir.types import BOOL, F32, F64, I32, I64, ArrayType
+from repro.parser import LexError, ParseError, parse_exp, parse_program, parse_programs, tokenize
+
+EV = Evaluator(sizes={"n": 4, "m": 3})
+
+
+def ev(src, **env):
+    return EV.eval1(parse_exp(src), env)
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        toks = tokenize("map mapper")
+        assert toks[0].kind == "kw" and toks[1].kind == "ident"
+
+    def test_numbers(self):
+        kinds = [t.kind for t in tokenize("1 2.5 3i32 4.0f64")][:-1]
+        assert kinds == ["int", "float", "int", "float"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("1 -- a comment\n2")
+        assert [t.text for t in toks[:-1]] == ["1", "2"]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_lex_error(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_two_char_ops(self):
+        texts = [t.text for t in tokenize("-> == <= >= != && ||")][:-1]
+        assert texts == ["->", "==", "<=", ">=", "!=", "&&", "||"]
+
+
+class TestLiterals:
+    def test_default_int_is_i64(self):
+        e = parse_exp("42")
+        assert isinstance(e, S.Lit) and e.type == I64
+
+    def test_default_float_is_f32(self):
+        e = parse_exp("4.5")
+        assert e.type == F32
+
+    def test_suffixes(self):
+        assert parse_exp("1i32").type == I32
+        assert parse_exp("1f32").type == F32
+        assert parse_exp("2.5f64").type == F64
+
+    def test_bools(self):
+        assert parse_exp("true").value is True
+        assert parse_exp("false").value is False
+
+
+class TestPrecedence:
+    def test_mul_over_add(self):
+        assert ev("2 + 3 * 4") == 14
+
+    def test_parens(self):
+        assert ev("(2 + 3) * 4") == 20
+
+    def test_comparison_looser_than_arith(self):
+        assert ev("1 + 1 == 2") is True
+
+    def test_logical_loosest(self):
+        assert ev("1 < 2 && 3 < 4") is True
+        assert ev("1 < 2 || 1 > 2") is True
+
+    def test_left_associative_sub(self):
+        assert ev("10 - 3 - 2") == 5
+
+    def test_unary_neg(self):
+        assert ev("-3 + 5") == 2
+
+    def test_index_tighter_than_ops(self):
+        xs = np.asarray([10, 20], np.int64)
+        assert ev("xs[1] + 1", xs=xs) == 21
+
+
+class TestConstructs:
+    def test_let_multi(self):
+        e = parse_exp("let a b = (1, 2) in a + b")
+        assert EV.eval1(e, {}) == 3
+
+    def test_nested_let(self):
+        assert ev("let a = 1 in let b = a + 1 in b * 10") == 20
+
+    def test_if(self):
+        assert ev("if true then 1 else 2") == 1
+
+    def test_loop_multi_state(self):
+        e = parse_exp("loop a b = 0 1 for i < 4 do (b, a + b)")
+        outs = EV.eval(e, {})
+        assert (outs[0], outs[1]) == (3, 5)
+
+    def test_lambda_sugar(self):
+        e = parse_exp("map (\\x -> x + 1) xs")
+        out = EV.eval1(e, {"xs": np.asarray([1, 2], np.int64)})
+        assert np.array_equal(out, [2, 3])
+
+    def test_operator_section(self):
+        e = parse_exp("reduce (+) 0 xs")
+        assert EV.eval1(e, {"xs": np.asarray([1, 2, 3], np.int64)}) == 6
+
+    def test_max_section(self):
+        e = parse_exp("reduce (max) 0 xs")
+        assert EV.eval1(e, {"xs": np.asarray([4, 9, 2], np.int64)}) == 9
+
+    def test_builtin_unary(self):
+        assert ev("sqrt 9.0") == 3.0
+        assert ev("to_i64 3.7") == 3
+
+    def test_builtin_binary(self):
+        assert ev("min 3 5") == 3
+        assert ev("max 3 5") == 5
+
+    def test_redomap(self):
+        e = parse_exp("redomap (+) (\\x y -> x * y) 0.0 xs ys")
+        out = EV.eval1(
+            e,
+            {
+                "xs": np.asarray([1, 2], np.float32),
+                "ys": np.asarray([3, 4], np.float32),
+            },
+        )
+        assert out == 11
+
+    def test_scanomap(self):
+        e = parse_exp("scanomap (+) (\\x -> x * 2) 0 xs")
+        out = EV.eval1(e, {"xs": np.asarray([1, 2, 3], np.int64)})
+        assert np.array_equal(out, [2, 6, 12])
+
+    def test_multi_ne_tuple(self):
+        e = parse_exp("reduce (\\a b c d -> (a + c, b * d)) (0.0, 1.0) xs ys")
+        outs = EV.eval(
+            e,
+            {
+                "xs": np.asarray([1, 2], np.float32),
+                "ys": np.asarray([3, 4], np.float32),
+            },
+        )
+        assert (outs[0], outs[1]) == (3, 12)
+
+    def test_replicate_iota_transpose(self):
+        assert np.array_equal(ev("replicate 3 7"), [7, 7, 7])
+        assert np.array_equal(ev("iota 3"), [0, 1, 2])
+        out = ev("transpose m_", m_=np.arange(6).reshape(2, 3))
+        assert out.shape == (3, 2)
+
+    def test_rearrange(self):
+        out = ev("rearrange (0, 2, 1) a", a=np.arange(24).reshape(2, 3, 4))
+        assert out.shape == (2, 4, 3)
+
+    def test_tuple_expression(self):
+        outs = EV.eval(parse_exp("(1, 2.5, true)"), {})
+        assert len(outs) == 3
+
+    def test_parenthesised_lambda(self):
+        e = parse_exp("map ((\\x -> x + 1)) xs")
+        out = EV.eval1(e, {"xs": np.asarray([5], np.int64)})
+        assert out[0] == 6
+
+
+class TestPrograms:
+    def test_signature_types(self):
+        prog = parse_program("def f(xs: [n]f32, k: i64) = k")
+        assert prog.params[0][1] == ArrayType((__import__("repro.sizes", fromlist=["SizeVar"]).SizeVar("n"),), F32)
+        assert prog.params[1][1] == I64
+
+    def test_constant_dims(self):
+        prog = parse_program("def f(xs: [4][n]f32) = xs")
+        t = prog.params[0][1]
+        assert str(t) == "[4][n]f32"
+
+    def test_no_params(self):
+        prog = parse_program("def f() = 1 + 1")
+        assert prog.params == []
+
+    def test_multiple_programs(self):
+        progs = parse_programs(
+            "def f(x: i64) = x\n" "def g(y: f32) = y + 1.0\n"
+        )
+        assert [p.name for p in progs] == ["f", "g"]
+
+    def test_matmul_agrees_with_builder(self):
+        src = """
+        def matmul(xss: [n][m]f32, yss: [m][n]f32) =
+          map (\\xs -> map (\\ys -> redomap (+) (\\x y -> x * y) 0.0 xs ys)
+                          (transpose yss))
+              xss
+        """
+        prog = parse_program(src)
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((3, 5)).astype(np.float32)
+        B = rng.standard_normal((5, 3)).astype(np.float32)
+        (out,) = run_program(prog, {"xss": A, "yss": B})
+        assert np.allclose(out, A @ B, rtol=1e-5)
+
+    def test_parsed_program_compiles(self):
+        from repro.compiler import compile_program
+
+        src = """
+        def sumsq(xss: [n][m]f32) =
+          map (\\row -> redomap (+) (\\x -> x * x) 0.0 row) xss
+        """
+        cp = compile_program(parse_program(src), "incremental")
+        assert len(cp.registry) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let a = in b",
+            "if x then y",
+            "map xs",
+            "reduce (+) xs",  # missing array after the neutral element
+            "loop a = 0 for i do a",
+            "(1, 2",
+            "xs[",
+            "def f(x) = x",
+            "def f(x: foo32) = x",
+            "1 +",
+        ],
+    )
+    def test_rejects(self, src):
+        with pytest.raises(ParseError):
+            if src.startswith("def"):
+                parse_program(src)
+            else:
+                parse_exp(src)
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_exp("1 2")
+
+
+# -- property: pretty-printed scalar arithmetic round-trips --------------------
+
+scalar_exprs = st.recursive(
+    st.one_of(
+        st.integers(0, 100).map(lambda i: S.Lit(i, I64)),
+        st.sampled_from(["x", "y"]).map(S.Var),
+    ),
+    lambda inner: st.tuples(
+        st.sampled_from(["+", "-", "*"]), inner, inner
+    ).map(lambda t: S.BinOp(t[0], t[1], t[2])),
+    max_leaves=10,
+)
+
+
+@settings(max_examples=60)
+@given(scalar_exprs)
+def test_pretty_parse_roundtrip(e):
+    """Parsing the pretty-printed form evaluates to the same value."""
+    from repro.ir.pretty import pretty
+
+    env = {"x": np.int64(3), "y": np.int64(7)}
+    reparsed = parse_exp(pretty(e))
+    assert EV.eval1(reparsed, env) == EV.eval1(e, env)

@@ -1,0 +1,195 @@
+"""Cross-cutting property tests over randomly generated programs.
+
+Each property pins an invariant that the pipeline relies on:
+
+* A-normalisation, fusion and simplification preserve value semantics.
+* The full compile pipeline preserves semantics in every mode (deeper
+  random programs than the flatten-level test).
+* Normalisation establishes the ANF operand invariant.
+* Code size never shrinks under multi-versioning.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_program
+from repro.interp import Evaluator, run_program
+from repro.ir import source as S
+from repro.ir.builder import (
+    Program,
+    f32,
+    if_,
+    let_,
+    loop_,
+    map_,
+    op2,
+    redomap_,
+    reduce_,
+    scan_,
+    v,
+)
+from repro.ir.types import F32, array_of
+from repro.passes import fuse, normalize, simplify
+from repro.sizes import SizeVar
+
+EV = Evaluator(sizes={"n": 3, "m": 4})
+
+
+# -- random expression generator over a fixed environment -----------------------
+#
+# Environment: xs : [n]f32, xss : [n][m]f32, k : f32 scalar.
+
+def _ops():
+    return st.sampled_from(["+", "*", "max"])
+
+
+@st.composite
+def scalar_exp(draw, depth=2):
+    """A random scalar expression over xs/xss/k."""
+    if depth == 0:
+        return draw(
+            st.sampled_from(
+                [v("k"), f32(1.5), f32(0.25), v("xs")[S.Lit(0, __import__("repro.ir.types", fromlist=["I64"]).I64)]]
+            )
+        )
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        op = draw(_ops())
+        a = draw(scalar_exp(depth=depth - 1))
+        b = draw(scalar_exp(depth=depth - 1))
+        return S.BinOp(op, a, b)
+    if choice == 1:
+        ne = f32(0.0)
+        op = draw(_ops())
+        if op == "max":
+            ne = f32(-1e9)
+        return reduce_(op2(op), ne, v("xs"))
+    if choice == 2:
+        return redomap_(
+            op2("+"), lambda x: x * draw(st.floats(0.5, 2.0)), f32(0.0), v("xs")
+        )
+    if choice == 3:
+        return loop_(
+            [f32(0.0)],
+            S.Lit(draw(st.integers(1, 3)), __import__("repro.ir.types", fromlist=["I64"]).I64),
+            lambda i, a: a + draw(scalar_exp(depth=0)),
+        )
+    return if_(
+        v("k").gt(0.0),
+        draw(scalar_exp(depth=depth - 1)),
+        draw(scalar_exp(depth=depth - 1)),
+    )
+
+
+@st.composite
+def array_exp(draw):
+    """A random array-producing nested-parallel expression."""
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        inner = draw(scalar_exp(depth=1))
+        return map_(lambda x: x + inner, v("xs"))
+    if kind == 1:
+        return map_(
+            lambda row: reduce_(op2("+"), f32(0.0), row), v("xss")
+        )
+    if kind == 2:
+        return map_(
+            lambda row: scan_(op2("max"), f32(-1e9), row), v("xss")
+        )
+    scale = draw(st.floats(0.5, 2.0))
+    return let_(
+        map_(lambda x: x * scale, v("xs")),
+        lambda ys: map_(lambda y: y + 1.0, ys),
+    )
+
+
+def _env(seed):
+    rng = np.random.default_rng(seed)
+    return {
+        "xs": rng.uniform(-2, 2, 3).astype(np.float32),
+        "xss": rng.uniform(-2, 2, (3, 4)).astype(np.float32),
+        "k": np.float32(rng.uniform(-1, 1)),
+    }
+
+
+def _same(a, b):
+    return all(
+        np.allclose(x, y, rtol=1e-4, equal_nan=True) for x, y in zip(a, b)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(scalar_exp(), st.integers(0, 2**31))
+def test_normalize_preserves_scalars(e, seed):
+    env = _env(seed)
+    assert _same(EV.eval(e, env), EV.eval(normalize(e), env))
+
+
+@settings(max_examples=40, deadline=None)
+@given(array_exp(), st.integers(0, 2**31))
+def test_normalize_preserves_arrays(e, seed):
+    env = _env(seed)
+    assert _same(EV.eval(e, env), EV.eval(normalize(e), env))
+
+
+@settings(max_examples=40, deadline=None)
+@given(array_exp(), st.integers(0, 2**31))
+def test_fuse_preserves(e, seed):
+    env = _env(seed)
+    ne = fuse(normalize(e))
+    assert _same(EV.eval(e, env), EV.eval(ne, env))
+
+
+@settings(max_examples=40, deadline=None)
+@given(scalar_exp(), st.integers(0, 2**31))
+def test_simplify_preserves(e, seed):
+    env = _env(seed)
+    assert _same(EV.eval(e, env), EV.eval(simplify(e), env))
+
+
+@settings(max_examples=40, deadline=None)
+@given(array_exp(), st.integers(0, 2**31))
+def test_anf_operand_invariant(e, seed):
+    from repro.ir.traverse import walk
+
+    blocky = (S.Map, S.Reduce, S.Scan, S.Redomap, S.Scanomap, S.Let, S.If, S.Loop)
+    out = normalize(e)
+    for node in walk(out):
+        if isinstance(node, S.BinOp):
+            assert not isinstance(node.x, blocky)
+            assert not isinstance(node.y, blocky)
+        elif isinstance(node, S.Index):
+            assert not isinstance(node.arr, blocky)
+
+
+@settings(max_examples=20, deadline=None)
+@given(array_exp(), st.integers(0, 2**31))
+def test_full_pipeline_preserves(e, seed):
+    n, m = SizeVar("n"), SizeVar("m")
+    prog = Program(
+        "rand",
+        [("xs", array_of(F32, n)), ("xss", array_of(F32, n, m)), ("k", F32)],
+        e,
+    )
+    env = _env(seed)
+    ref = run_program(prog, env)
+    for mode in ("moderate", "incremental", "full"):
+        cp = compile_program(prog, mode)
+        got = run_program(prog, env, body=cp.body)
+        assert _same(ref, got), mode
+
+
+@settings(max_examples=20, deadline=None)
+@given(array_exp())
+def test_incremental_never_smaller(e):
+    n, m = SizeVar("n"), SizeVar("m")
+    prog = Program(
+        "rand",
+        [("xs", array_of(F32, n)), ("xss", array_of(F32, n, m)), ("k", F32)],
+        e,
+    )
+    mf = compile_program(prog, "moderate")
+    inc = compile_program(prog, "incremental")
+    assert inc.code_size() >= mf.code_size() * 0.5
+    if inc.registry.items:
+        assert inc.code_size() > mf.code_size()

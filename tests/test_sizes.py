@@ -1,0 +1,186 @@
+"""Tests for the symbolic size algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sizes import (
+    SizeConst,
+    SizeMax,
+    SizeProd,
+    SizeSum,
+    SizeVar,
+    size,
+    size_max,
+    size_prod,
+    size_sum,
+)
+
+
+class TestConstructors:
+    def test_size_coercions(self):
+        assert size(3) == SizeConst(3)
+        assert size("n") == SizeVar("n")
+        assert size(SizeVar("n")) == SizeVar("n")
+
+    def test_size_rejects_negative(self):
+        with pytest.raises(ValueError):
+            size(-1)
+
+    def test_size_rejects_bool(self):
+        with pytest.raises(TypeError):
+            size(True)
+
+    def test_size_rejects_junk(self):
+        with pytest.raises(TypeError):
+            size(3.5)
+
+    def test_prod_folds_constants(self):
+        assert size_prod([2, 3, 4]) == SizeConst(24)
+
+    def test_prod_zero_annihilates(self):
+        assert size_prod([SizeVar("n"), 0]) == SizeConst(0)
+
+    def test_prod_unit_dropped(self):
+        assert size_prod([SizeVar("n"), 1]) == SizeVar("n")
+
+    def test_prod_flattens_nested(self):
+        p = size_prod([size_prod(["a", "b"]), "c"])
+        assert isinstance(p, SizeProd)
+        assert len(p.factors) == 3
+
+    def test_prod_empty_is_one(self):
+        assert size_prod([]) == SizeConst(1)
+
+    def test_sum_folds_constants(self):
+        assert size_sum([2, 3]) == SizeConst(5)
+
+    def test_sum_zero_dropped(self):
+        assert size_sum([SizeVar("n"), 0]) == SizeVar("n")
+
+    def test_sum_flattens_nested(self):
+        ssum = size_sum([size_sum(["a", 1]), "b", 2])
+        assert isinstance(ssum, SizeSum)
+
+    def test_sum_empty_is_zero(self):
+        assert size_sum([]) == SizeConst(0)
+
+    def test_max_dedups(self):
+        m = size_max(["n", "n"])
+        assert m == SizeVar("n")
+
+    def test_max_folds_constants(self):
+        m = size_max([3, 7, SizeVar("n")])
+        assert isinstance(m, SizeMax)
+        assert SizeConst(7) in m.args
+
+    def test_max_single(self):
+        assert size_max([SizeVar("n")]) == SizeVar("n")
+
+    def test_max_empty_raises(self):
+        with pytest.raises(ValueError):
+            size_max([])
+
+
+class TestEvaluation:
+    def test_const(self):
+        assert SizeConst(5).eval({}) == 5
+
+    def test_var(self):
+        assert SizeVar("n").eval({"n": 7}) == 7
+
+    def test_var_unbound(self):
+        with pytest.raises(KeyError):
+            SizeVar("n").eval({})
+
+    def test_prod(self):
+        e = size_prod(["n", "m", 2])
+        assert e.eval({"n": 3, "m": 4}) == 24
+
+    def test_sum(self):
+        e = size_sum(["n", 5])
+        assert e.eval({"n": 3}) == 8
+
+    def test_max(self):
+        e = size_max(["n", "m"])
+        assert e.eval({"n": 3, "m": 9}) == 9
+
+    def test_operator_sugar(self):
+        e = SizeVar("n") * SizeVar("m") + 1
+        assert e.eval({"n": 2, "m": 5}) == 11
+
+
+class TestStructure:
+    def test_free_vars(self):
+        e = size_prod(["n", size_sum(["m", 1])])
+        assert e.free_vars() == {"n", "m"}
+
+    def test_is_constant(self):
+        assert size_prod([2, 3]).is_constant()
+        assert not SizeVar("n").is_constant()
+
+    def test_equality_and_hash(self):
+        a = size_prod(["n", "m"])
+        b = size_prod(["m", "n"])  # normalised ordering
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_round_trippable_reading(self):
+        assert str(size_prod(["n", 2])) == "2*n"
+        assert "max(" in str(size_max(["n", "m"]))
+
+
+# -- property-based -----------------------------------------------------------
+
+sizes_st = st.recursive(
+    st.one_of(
+        st.integers(min_value=0, max_value=50).map(SizeConst),
+        st.sampled_from(["a", "b", "c"]).map(SizeVar),
+    ),
+    lambda inner: st.one_of(
+        st.lists(inner, min_size=1, max_size=3).map(size_prod),
+        st.lists(inner, min_size=1, max_size=3).map(size_sum),
+        st.lists(inner, min_size=1, max_size=3).map(size_max),
+    ),
+    max_leaves=8,
+)
+
+ENV = {"a": 3, "b": 5, "c": 7}
+
+
+@given(sizes_st, sizes_st)
+def test_prod_eval_homomorphism(x, y):
+    assert size_prod([x, y]).eval(ENV) == x.eval(ENV) * y.eval(ENV)
+
+
+@given(sizes_st, sizes_st)
+def test_sum_eval_homomorphism(x, y):
+    assert size_sum([x, y]).eval(ENV) == x.eval(ENV) + y.eval(ENV)
+
+
+@given(sizes_st, sizes_st)
+def test_max_eval_homomorphism(x, y):
+    assert size_max([x, y]).eval(ENV) == max(x.eval(ENV), y.eval(ENV))
+
+
+@given(sizes_st, sizes_st, sizes_st)
+def test_prod_associativity(x, y, z):
+    left = size_prod([size_prod([x, y]), z])
+    right = size_prod([x, size_prod([y, z])])
+    assert left == right
+
+
+@given(sizes_st, sizes_st)
+def test_prod_commutativity(x, y):
+    assert size_prod([x, y]) == size_prod([y, x])
+
+
+@given(sizes_st)
+def test_normalisation_idempotent(x):
+    assert size_prod([x]) == size_prod([size_prod([x])])
+
+
+@given(sizes_st)
+def test_free_vars_cover_evaluation_needs(x):
+    fv = x.free_vars()
+    env = {v: ENV[v] for v in fv}
+    x.eval(env)  # must not raise

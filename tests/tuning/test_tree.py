@@ -1,0 +1,79 @@
+"""Path-signature tests, including fallback-awareness."""
+
+from repro.compiler import compile_program
+from repro.gpu import K40
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.builder import f32, v
+from repro.sizes import SizeVar
+from repro.tuning import path_signature, thresholds_in
+
+from repro.bench.programs.matmul import matmul_program, matmul_sizes
+
+N = SizeVar("n")
+
+
+def guarded(par, name, then, els):
+    return S.If(T.ParCmp(par, name), then, els)
+
+
+class TestSignatures:
+    def test_single_guard(self):
+        e = guarded(N, "t0", f32(1.0), f32(2.0))
+        assert path_signature(e, {"n": 100}, {"t0": 50}) == (("t0", True),)
+        assert path_signature(e, {"n": 100}, {"t0": 500}) == (("t0", False),)
+
+    def test_untaken_branch_guards_invisible(self):
+        inner = guarded(N, "t1", f32(1.0), f32(2.0))
+        e = guarded(N, "t0", f32(0.0), inner)
+        sig = path_signature(e, {"n": 100}, {"t0": 1, "t1": 1})
+        assert sig == (("t0", True),)
+
+    def test_nested_guards_recorded_in_order(self):
+        inner = guarded(N, "t1", f32(1.0), f32(2.0))
+        e = guarded(N, "t0", inner, f32(0.0))
+        sig = path_signature(e, {"n": 100}, {"t0": 1, "t1": 200})
+        assert sig == (("t0", True), ("t1", False))
+
+    def test_default_threshold(self):
+        e = guarded(N, "t0", f32(1.0), f32(2.0))
+        assert path_signature(e, {"n": 2**15}, {}) == (("t0", True),)
+        assert path_signature(e, {"n": 2**15 - 1}, {}) == (("t0", False),)
+
+    def test_thresholds_in_discovery_order(self):
+        cp = compile_program(matmul_program(), "incremental")
+        names = thresholds_in(cp.body)
+        assert sorted(names) == sorted(cp.thresholds())
+
+
+class TestFallbackAwareness:
+    def test_infeasible_guard_behaves_false(self):
+        """A version exceeding local memory is recorded as not taken, so
+        signature-keyed caches agree with the simulator's fallback."""
+        ctx1 = T.Ctx([T.Binding(("row",), (v("xss"),), SizeVar("n"))])
+        ctx0 = T.Ctx([T.Binding(("x",), (v("row"),), SizeVar("m"))])
+        intra = T.SegMap(
+            1, ctx1, T.SegScan(0, ctx0, __import__("repro.ir.builder", fromlist=["op2"]).op2("+"), [f32(0.0)], v("x"))
+        )
+        e = guarded(N, "t0", intra, f32(0.0))
+        small = path_signature(e, {"n": 4, "m": 128}, {"t0": 1}, device=K40)
+        assert small == (("t0", True),)
+        huge = path_signature(e, {"n": 4, "m": 10**6}, {"t0": 1}, device=K40)
+        assert huge == (("t0", False),)
+
+    def test_signature_matches_simulation_behaviour(self):
+        """End-to-end: for many configurations, equal signatures imply equal
+        simulated time."""
+        cp = compile_program(matmul_program(), "incremental")
+        sizes = matmul_sizes(4, 20)
+        import random
+
+        rng = random.Random(0)
+        seen: dict[tuple, float] = {}
+        for _ in range(40):
+            th = {t: 2 ** rng.randint(0, 26) for t in cp.thresholds()}
+            sig = path_signature(cp.body, sizes, th, device=K40)
+            t = cp.simulate(sizes, K40, thresholds=th).time
+            if sig in seen:
+                assert seen[sig] == t, f"cache unsound for {sig}"
+            seen[sig] = t

@@ -35,6 +35,7 @@ def _tune_all():
                     res.simulations,
                     res.cache_hits,
                     res.dedup_ratio,
+                    res.full_history,
                 )
             )
         ex = exhaustive_tune(cp, datasets, K40, max_configs=10**7)
@@ -47,9 +48,26 @@ def _tune_all():
                 ex.simulations,
                 ex.cache_hits,
                 ex.dedup_ratio,
+                ex.full_history,
             )
         )
     return out
+
+
+_CHECKPOINTS = (1, 10, 30, 100, 300)
+
+
+def _convergence(full_history):
+    """Running best cost after the first 1, 10, 30, ... evaluations."""
+    curve = []
+    best = float("inf")
+    for n, (_, cost) in enumerate(full_history, start=1):
+        best = min(best, cost)
+        if n in _CHECKPOINTS:
+            curve.append((n, best))
+    if full_history and len(full_history) not in _CHECKPOINTS:
+        curve.append((len(full_history), best))
+    return curve
 
 
 def _render(rows):
@@ -58,11 +76,16 @@ def _render(rows):
         f"{'program':>12} {'technique':>11} {'cost(ms)':>10} "
         f"{'proposals':>10} {'sims':>6} {'hits':>7} {'dedup':>6}",
     ]
-    for name, tech, cost, props, sims, hits, dedup in rows:
+    for name, tech, cost, props, sims, hits, dedup, _ in rows:
         lines.append(
             f"{name:>12} {tech:>11} {cost*1e3:>10.3f} "
             f"{props:>10} {sims:>6} {hits:>7} {dedup:>6.2f}"
         )
+    lines.append("")
+    lines.append("Convergence — running best cost(ms) by evaluations")
+    for name, tech, _, _, _, _, _, hist in rows:
+        curve = " ".join(f"{n}:{best*1e3:.3f}" for n, best in _convergence(hist))
+        lines.append(f"{name:>12} {tech:>11}  {curve}")
     return "\n".join(lines) + "\n"
 
 
@@ -80,3 +103,9 @@ def test_autotuner(benchmark):
         # the duplicate-path cache resolves the vast majority of proposals
         for r in stochastic:
             assert r[6] > 0.7, f"{name}/{r[1]} dedup ratio too low"
+        # full_history records every evaluation; its running minimum must
+        # agree with the reported best cost
+        for r in prog_rows:
+            assert min(c for _, c in r[7]) == r[2]
+        for r in stochastic:
+            assert len(r[7]) == r[3], f"{name}/{r[1]} full_history incomplete"

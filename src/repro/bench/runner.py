@@ -32,7 +32,7 @@ from repro.bench.programs.nw import nw_program
 from repro.bench.programs.optionpricing import optionpricing_program
 from repro.bench.programs.pathfinder import pathfinder_program
 from repro.bench.programs.srad import srad_program
-from repro.compiler import compile_program
+from repro.compiler import compile_program_cached
 from repro.gpu.device import K40, VEGA64, DeviceSpec
 from repro.tuning import exhaustive_tune
 
@@ -65,8 +65,8 @@ def fig2_rows(
     device: DeviceSpec = K40, k_eval: int = 25, k_train: int = 20
 ) -> list[Fig2Row]:
     prog = matmul_program()
-    mf = compile_program(prog, "moderate")
-    cp = compile_program(prog, "incremental")
+    mf = compile_program_cached(prog, "moderate")
+    cp = compile_program_cached(prog, "incremental")
     train = [matmul_sizes(e, k_train) for e in range(k_train // 2 + 1)]
     th = exhaustive_tune(cp, train, device).best_thresholds
     rows = []
@@ -113,8 +113,8 @@ class Fig7Row:
 
 def fig7_rows(devices: tuple[DeviceSpec, ...] = (K40, VEGA64)) -> list[Fig7Row]:
     prog = locvolcalib_program()
-    mf = compile_program(prog, "moderate")
-    cp = compile_program(prog, "incremental")
+    mf = compile_program_cached(prog, "moderate")
+    cp = compile_program_cached(prog, "incremental")
     rows = []
     for device in devices:
         datasets = [locvolcalib_sizes(n) for n in ("small", "medium", "large")]
@@ -260,8 +260,8 @@ def fig8_rows(
     for name in names:
         spec = BULK_BENCHMARKS[name]
         prog = spec.program()
-        mf = compile_program(prog, "moderate", **spec.mf_kwargs)
-        cp = compile_program(prog, "incremental")
+        mf = compile_program_cached(prog, "moderate", **spec.mf_kwargs)
+        cp = compile_program_cached(prog, "incremental")
         eval_sizes = {ds: table1_sizes(name, ds) for ds in ("D1", "D2")}
         if spec.tune_sizes is not None:
             tune_sizes = [dict(s) for s in spec.tune_sizes]
@@ -302,8 +302,8 @@ def fullflat_rows(device: DeviceSpec = K40) -> list[tuple[str, str, float]]:
     rows = []
     for name, spec in BULK_BENCHMARKS.items():
         prog = spec.program()
-        ff = compile_program(prog, "full")
-        cp = compile_program(prog, "incremental")
+        ff = compile_program_cached(prog, "full")
+        cp = compile_program_cached(prog, "incremental")
         for ds in ("D1", "D2"):
             sizes = table1_sizes(name, ds)
             t_ff = ff.simulate(sizes, device).time
@@ -325,8 +325,8 @@ def code_expansion_rows() -> list[tuple[str, float, float, float, int]]:
     progs.update({n: s.program for n, s in BULK_BENCHMARKS.items()})
     for name, mk in progs.items():
         prog = mk()
-        mf = compile_program(prog, "moderate")
-        cp = compile_program(prog, "incremental")
+        mf = compile_program_cached(prog, "moderate")
+        cp = compile_program_cached(prog, "incremental")
         time_ratio = cp.compile_seconds / max(mf.compile_seconds, 1e-9)
         size_ratio = cp.code_size() / max(mf.code_size(), 1)
         gen_mf = generate_opencl(mf)

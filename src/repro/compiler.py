@@ -9,9 +9,10 @@ simulation (:meth:`CompiledProgram.simulate`, via the GPU model).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro import perf
 from repro.flatten import Flattener, ThresholdRegistry, branching_trees
 from repro.gpu.cost import AVal, Simulator, aval_from_type
 from repro.gpu.device import DeviceSpec
@@ -24,7 +25,7 @@ from repro.ir.typecheck import typeof, validate_levels
 from repro.ir.types import ArrayType
 from repro.passes import fuse, normalize, simplify
 
-__all__ = ["CompiledProgram", "compile_program"]
+__all__ = ["CompiledProgram", "compile_program", "compile_program_cached"]
 
 
 @dataclass
@@ -37,6 +38,8 @@ class CompiledProgram:
     registry: ThresholdRegistry
     num_levels: int
     compile_seconds: float = 0.0
+    #: (sizes, device, thresholds, sim options) -> CostReport memo
+    _sim_memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- execution ------------------------------------------------------------
 
@@ -58,14 +61,44 @@ class CompiledProgram:
         """Estimate the run time on ``device`` for a dataset of ``sizes``.
 
         Scalar program parameters (e.g. iteration counts) are taken from
-        ``sizes`` by name.
+        ``sizes`` by name.  Results are memoized per compiled program on
+        ``(sizes, device, thresholds, simulation options)``; pass
+        ``cache=False`` (or set ``REPRO_NO_CACHE=1``) to force a fresh
+        walk.  Memoized calls return an independent :class:`CostReport`
+        copy, bit-identical to the first computation.
         """
+        cache = sim_kwargs.pop("cache", None)
+        use_memo = perf.caching_enabled() if cache is None else bool(cache)
+        key = None
+        if use_memo:
+            key = (
+                tuple(sorted(sizes.items())),
+                device,
+                tuple(sorted(thresholds.items())) if thresholds else None,
+                tuple(sorted(sim_kwargs.items())),
+            )
+            hit = self._sim_memo.get(key)
+            if hit is not None:
+                perf.inc("sim_memo.hits")
+                return hit.copy()
+            perf.inc("sim_memo.misses")
         params: dict[str, AVal] = {}
         for name, t in self.prog.params:
             value = None if isinstance(t, ArrayType) else sizes.get(name)
             params[name] = aval_from_type(t, sizes, value)
-        sim = Simulator(device, thresholds=thresholds, **sim_kwargs)
-        return sim.simulate(self.body, params, sizes)
+        with perf.timer("simulate"):
+            sim = Simulator(device, thresholds=thresholds, cache=cache, **sim_kwargs)
+            report = sim.simulate(self.body, params, sizes)
+        if key is not None:
+            self._sim_memo[key] = report.copy()
+        return report
+
+    def __getstate__(self):
+        # the simulation memo is a per-process cache, not program state:
+        # don't ship it to worker processes or persist it
+        state = self.__dict__.copy()
+        state["_sim_memo"] = {}
+        return state
 
     # -- metadata ---------------------------------------------------------------
 
@@ -116,4 +149,44 @@ def compile_program(
         compile_seconds=elapsed,
     )
     out.check()
+    return out
+
+
+#: (program name, mode, pass options) -> CompiledProgram
+_COMPILE_CACHE: dict[tuple, CompiledProgram] = perf.register_cache("compile", {})
+
+
+def compile_program_cached(
+    prog: Program,
+    mode: str = "incremental",
+    num_levels: int = 2,
+    do_fuse: bool = True,
+    do_simplify: bool = True,
+) -> CompiledProgram:
+    """:func:`compile_program`, memoized on (program name, mode, options).
+
+    Intended for the bench/figure pipelines, where the same named benchmark
+    program is rebuilt and recompiled for every figure: the cache key is
+    the program's *name*, so callers that construct differing programs
+    under one name must use :func:`compile_program` directly.  Returns the
+    shared instance (whose ``simulate`` memo then also spans pipelines).
+    Disabled by ``REPRO_NO_CACHE=1``.
+    """
+    if not perf.caching_enabled():
+        return compile_program(
+            prog, mode, num_levels=num_levels, do_fuse=do_fuse,
+            do_simplify=do_simplify,
+        )
+    key = (prog.name, mode, num_levels, do_fuse, do_simplify)
+    hit = _COMPILE_CACHE.get(key)
+    if hit is not None:
+        perf.inc("compile_cache.hits")
+        return hit
+    perf.inc("compile_cache.misses")
+    with perf.timer("compile"):
+        out = compile_program(
+            prog, mode, num_levels=num_levels, do_fuse=do_fuse,
+            do_simplify=do_simplify,
+        )
+    _COMPILE_CACHE[key] = out
     return out

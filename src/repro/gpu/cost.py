@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
+from repro import perf
 from repro.gpu.device import DeviceSpec
 from repro.gpu.report import Chain, CostReport, KernelStats
 from repro.gpu.tiling import tiling_factor
@@ -39,6 +40,7 @@ from repro.interp import intrinsics
 from repro.interp.evaluator import DEFAULT_THRESHOLD
 from repro.ir import source as S
 from repro.ir import target as T
+from repro.ir.traverse import _spec
 from repro.ir.typecheck import _top_segops
 from repro.ir.types import ArrayType, ScalarType, Type
 
@@ -49,6 +51,7 @@ __all__ = [
     "LocalMemExceeded",
     "Simulator",
     "aval_from_type",
+    "kernel_fingerprint",
 ]
 
 #: extra ALU cost of transcendental unary ops
@@ -167,6 +170,142 @@ def roofline_time(
     )
 
 
+# --------------------------------------------------- kernel cost memoization
+#
+# Pricing one host-level segop is a pure function of (a) the kernel's
+# structure, (b) the abstract values of its free variables, (c) the size
+# assignment restricted to the names the kernel can observe, (d) the
+# threshold values it compares against and (e) the device/tiling
+# configuration.  The cache below keys on exactly that tuple, so repeated
+# simulations of the same program — across tuner proposals, figure
+# pipelines and overlapping datasets — price each kernel once.
+
+
+class _HashedKey:
+    """A structural key with its hash precomputed (keys can be large)."""
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, _HashedKey) and self.key == other.key
+
+
+#: per-class scalar fields that take part in the structural fingerprint
+_FP_SCALARS: dict[type, object] = {
+    S.Var: lambda e: (e.name,),
+    S.Lit: lambda e: (e.value, type(e.value).__name__, e.type),
+    S.SizeE: lambda e: (e.size,),
+    S.BinOp: lambda e: (e.op,),
+    S.UnOp: lambda e: (e.op,),
+    S.Let: lambda e: (e.names,),
+    S.Rearrange: lambda e: (e.perm,),
+    S.Loop: lambda e: (e.params, e.ivar),
+    S.Intrinsic: lambda e: (e.name,),
+    T.ParCmp: lambda e: (e.par, e.threshold),
+    T.SegMap: lambda e: (e.level,),
+    T.SegRed: lambda e: (e.level,),
+    T.SegScan: lambda e: (e.level,),
+}
+
+#: id-keyed memo tables; values hold the node itself so ids stay valid
+_FP_MEMO: dict[int, tuple] = perf.register_cache("kernel.fingerprints", {})
+_META_MEMO: dict[int, tuple] = perf.register_cache("kernel.meta", {})
+_KERNEL_CACHE: dict = perf.register_cache("kernel.cost", {})
+
+_KERNEL_CACHE_CAP = 1 << 18
+
+
+def kernel_fingerprint(e: S.Exp) -> tuple:
+    """Structural fingerprint of ``e``: a nested tuple capturing every
+    semantically relevant field (class, scalar attributes, binder names,
+    size expressions, children).  Structurally equal kernels — even from
+    independent compilations — fingerprint equal."""
+    memo = _FP_MEMO
+    hit = memo.get(id(e))
+    if hit is not None and hit[0] is e:
+        return hit[1]
+    scal = _FP_SCALARS.get(type(e))
+    parts: list = [type(e).__name__]
+    if scal is not None:
+        parts.extend(scal(e))
+    for attr, kind in _spec(e):
+        val = getattr(e, attr)
+        if kind == "exp":
+            parts.append(kernel_fingerprint(val))
+        elif kind == "exps":
+            parts.append(tuple(kernel_fingerprint(x) for x in val))
+        elif kind == "lam":
+            parts.append((val.params, kernel_fingerprint(val.body)))
+        elif kind == "ctx":
+            parts.append(
+                tuple(
+                    (b.params, b.size, tuple(kernel_fingerprint(a) for a in b.arrays))
+                    for b in val
+                )
+            )
+    fp = tuple(parts)
+    memo[id(e)] = (e, fp)
+    return fp
+
+
+@dataclass(frozen=True)
+class _OpMeta:
+    """Cache-key ingredients of one segop, computed once per AST node."""
+
+    fp: _HashedKey
+    free: tuple[str, ...]  # free variables (env part of the key)
+    size_names: tuple[str, ...]  # names whose `sizes` entry is observable
+    thresholds: tuple[str, ...]  # threshold names compared inside the op
+    full_sizes: bool  # op contains an intrinsic (cost sees all sizes)
+
+
+def _op_meta(op: T.SegOp) -> _OpMeta:
+    hit = _META_MEMO.get(id(op))
+    if hit is not None and hit[0] is op:
+        return hit[1]
+    from repro.ir.traverse import free_vars, walk
+
+    var_names: set[str] = set()
+    size_vars: set[str] = set()
+    ths: list[str] = []
+    full_sizes = False
+    nodes = 0
+    for sub in walk(op):
+        nodes += 1
+        if isinstance(sub, S.Var):
+            var_names.add(sub.name)
+        elif isinstance(sub, S.SizeE):
+            size_vars |= sub.size.free_vars()
+        elif isinstance(sub, T.ParCmp):
+            size_vars |= sub.par.free_vars()
+            if sub.threshold not in ths:
+                ths.append(sub.threshold)
+        elif isinstance(sub, S.Intrinsic):
+            full_sizes = True
+        if isinstance(sub, T.SegOp):
+            for b in sub.ctx:
+                size_vars |= b.size.free_vars()
+    perf.inc("kernel_cache.fingerprint_nodes", nodes)
+    meta = _OpMeta(
+        fp=_HashedKey(kernel_fingerprint(op)),
+        free=tuple(sorted(free_vars(op))),
+        size_names=tuple(sorted(var_names | size_vars)),
+        thresholds=tuple(ths),
+        full_sizes=full_sizes,
+    )
+    _META_MEMO[id(op)] = (op, meta)
+    return meta
+
+
 class Simulator:
     """Simulates one flattened program on one device."""
 
@@ -176,11 +315,15 @@ class Simulator:
         thresholds: Mapping[str, int] | None = None,
         tile: int = _TILE,
         enable_tiling: bool = True,
+        cache: bool | None = None,
     ):
+        """``cache=None`` follows the global switch (``REPRO_NO_CACHE``);
+        ``cache=False`` forces every kernel to be priced from scratch."""
         self.device = device
         self.thresholds = dict(thresholds or {})
         self.tile = tile
         self.enable_tiling = enable_tiling
+        self.cache = perf.caching_enabled() if cache is None else bool(cache)
         self.sizes: dict[str, int] = {}
         #: abstract values of the program results, set by simulate()
         self.result: tuple[AVal, ...] = ()
@@ -357,6 +500,56 @@ class Simulator:
                 self._charge_read(arr, chain)
 
     def _kernel(self, op: T.SegOp, env: dict[str, AVal], rep: CostReport):
+        """Price one host-level kernel, via the kernel-cost cache.
+
+        Cache replay merges per kernel (``rep.time += k.time`` for each
+        recorded :class:`KernelStats`), reproducing the exact floating-point
+        accumulation order of a cold walk — memoized and cache-disabled
+        simulations agree bit for bit.
+        """
+        if not self.cache:
+            return self._kernel_raw(op, env, rep)
+        meta = _op_meta(op)
+        sizes = self.sizes
+        if meta.full_sizes:
+            sizes_key = tuple(sorted(sizes.items()))
+        else:
+            sizes_key = tuple(sizes.get(n) for n in meta.size_names)
+        key = (
+            meta.fp,
+            tuple(env.get(n) for n in meta.free),
+            sizes_key,
+            tuple(self.thresholds.get(t, DEFAULT_THRESHOLD) for t in meta.thresholds),
+            self.device,
+            self.tile,
+            self.enable_tiling,
+        )
+        entry = _KERNEL_CACHE.get(key)
+        if entry is None:
+            perf.inc("kernel_cache.misses")
+            sub = CostReport()
+            try:
+                vals = self._kernel_raw(op, env, sub)
+            except LocalMemExceeded as exc:
+                _KERNEL_CACHE[key] = (None, exc.args, None)
+                raise
+            if len(_KERNEL_CACHE) >= _KERNEL_CACHE_CAP:
+                _KERNEL_CACHE.clear()
+            _KERNEL_CACHE[key] = (vals, None, sub)
+        else:
+            perf.inc("kernel_cache.hits")
+            vals, exc_args, sub = entry
+            if exc_args is not None:
+                raise LocalMemExceeded(*exc_args)
+        for k in sub.kernels:
+            rep.time += k.time
+        rep.kernels.extend(replace(k) for k in sub.kernels)
+        rep.host_time += sub.host_time
+        rep.transfer_bytes += sub.transfer_bytes
+        rep.alloc_bytes += sub.alloc_bytes
+        return vals
+
+    def _kernel_raw(self, op: T.SegOp, env: dict[str, AVal], rep: CostReport):
         extents, kenv, scalars = self._ctx_env_full(op, env)
         P = 1
         for d in extents:

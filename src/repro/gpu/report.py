@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 __all__ = ["Chain", "KernelStats", "CostReport"]
 
@@ -97,3 +97,13 @@ class CostReport:
         self.host_time += other.host_time
         self.transfer_bytes += other.transfer_bytes
         self.alloc_bytes += other.alloc_bytes
+
+    def copy(self) -> "CostReport":
+        """An independent copy (kernel stats copied, not shared)."""
+        return CostReport(
+            time=self.time,
+            kernels=[replace(k) for k in self.kernels],
+            host_time=self.host_time,
+            transfer_bytes=self.transfer_bytes,
+            alloc_bytes=self.alloc_bytes,
+        )

@@ -1,0 +1,96 @@
+"""Lightweight performance instrumentation for the evaluation engine.
+
+The tune/simulate hot path is layered with caches (see
+``docs/performance.md``); this module provides the counters and timers that
+make their effectiveness observable, plus the global cache kill-switch.
+
+* :func:`inc` / :func:`counters` — named monotonic counters (cache hits and
+  misses, simulations, AST nodes visited, ...).
+* :func:`timer` — a context manager accumulating wall time per stage.
+* :func:`caching_enabled` — ``False`` when the ``REPRO_NO_CACHE``
+  environment variable is set (non-empty), which disables every cache layer
+  for debugging; read dynamically so tests can flip it at run time.
+* :func:`register_cache` / :func:`clear_caches` — modules register their
+  cache dicts here so all layers can be dropped in one call.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator, MutableMapping
+
+__all__ = [
+    "inc",
+    "counters",
+    "timers",
+    "timer",
+    "snapshot",
+    "reset",
+    "caching_enabled",
+    "register_cache",
+    "clear_caches",
+]
+
+_COUNTERS: defaultdict[str, float] = defaultdict(float)
+_TIMERS: defaultdict[str, float] = defaultdict(float)
+_CACHES: dict[str, MutableMapping] = {}
+
+
+def inc(name: str, n: float = 1) -> None:
+    """Increment the counter ``name`` by ``n``."""
+    _COUNTERS[name] += n
+
+
+def counters() -> dict[str, float]:
+    """Current counter values (a copy)."""
+    return dict(_COUNTERS)
+
+
+def timers() -> dict[str, float]:
+    """Accumulated wall seconds per timed stage (a copy)."""
+    return dict(_TIMERS)
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Accumulate the wall time of the ``with`` block under ``name``."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        _TIMERS[name] += time.perf_counter() - t0
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    """Counters, timers and cache sizes in one structure (for reports)."""
+    return {
+        "counters": counters(),
+        "timers": timers(),
+        "cache_sizes": {name: len(c) for name, c in _CACHES.items()},
+    }
+
+
+def reset() -> None:
+    """Zero all counters and timers (caches are left intact)."""
+    _COUNTERS.clear()
+    _TIMERS.clear()
+
+
+def caching_enabled() -> bool:
+    """Global cache switch: ``REPRO_NO_CACHE=1`` disables every layer."""
+    return not os.environ.get("REPRO_NO_CACHE")
+
+
+def register_cache(name: str, cache: MutableMapping) -> MutableMapping:
+    """Register a module-level cache dict so :func:`clear_caches` finds it."""
+    _CACHES[name] = cache
+    return cache
+
+
+def clear_caches() -> None:
+    """Empty every registered cache (cold-start state for benchmarks)."""
+    for cache in _CACHES.values():
+        cache.clear()

@@ -2,9 +2,14 @@
 
 from repro.tuning.exhaustive import candidate_values, exhaustive_tune
 from repro.tuning.params import LogIntegerParameter, ParameterSpace
-from repro.tuning.persist import TuningFileError, load_thresholds, save_thresholds
+from repro.tuning.persist import (
+    TuningFileError,
+    branching_tree_hash,
+    load_thresholds,
+    save_thresholds,
+)
 from repro.tuning.search import AUCBandit, HillClimb, RandomSearch, make_technique
-from repro.tuning.tree import path_signature, thresholds_in
+from repro.tuning.tree import SignatureEngine, path_signature, thresholds_in
 from repro.tuning.tuner import Autotuner, TuningResult
 
 __all__ = [
@@ -16,11 +21,13 @@ __all__ = [
     "HillClimb",
     "AUCBandit",
     "make_technique",
+    "SignatureEngine",
     "path_signature",
     "thresholds_in",
     "candidate_values",
     "exhaustive_tune",
     "TuningFileError",
+    "branching_tree_hash",
     "load_thresholds",
     "save_thresholds",
 ]

@@ -17,7 +17,6 @@ from typing import Mapping, Sequence
 
 from repro.compiler import CompiledProgram
 from repro.gpu.device import DeviceSpec
-from repro.tuning.tree import path_signature
 from repro.tuning.tuner import Autotuner, CostFn, TuningResult, sum_cost
 
 __all__ = ["exhaustive_tune", "candidate_values"]
@@ -73,17 +72,20 @@ def exhaustive_tune(
     proposals = 0
     seen: set[tuple] = set()
     history: list[tuple[int, float]] = []
+    full_history: list[tuple[dict[str, int], float]] = []
     for combo in itertools.product(*(cands[n] for n in names)):
         cfg = dict(zip(names, combo))
         proposals += 1
+        # signatures come from the tuner's per-dataset decision trees (and
+        # config→signature memo), not a fresh AST walk per configuration
         joint = tuple(
-            path_signature(compiled.body, dict(d), cfg, device=device)
-            for d in datasets
+            tuner._signature(i, cfg) for i in range(len(tuner.datasets))
         )
         if joint in seen:
             continue
         seen.add(joint)
         cost = tuner.measure(cfg)
+        full_history.append((dict(cfg), cost))
         if cost < best_cost:
             best_cfg, best_cost = cfg, cost
             history.append((proposals, cost))
@@ -96,4 +98,5 @@ def exhaustive_tune(
         simulations=tuner.simulations,
         cache_hits=tuner.cache_hits,
         history=history,
+        full_history=full_history,
     )

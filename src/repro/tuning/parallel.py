@@ -1,0 +1,80 @@
+"""Process-based batched proposal evaluation for the autotuner.
+
+Each worker process holds its own :class:`~repro.tuning.tuner.Autotuner`
+built from the same (pickled) compiled program, datasets, device, seed and
+noise level, so it evaluates configurations with full local caching.
+Because simulated times — including measurement noise — are deterministic
+functions of the path signature, any worker computes exactly the value a
+serial run would have; the coordinator merges worker results back through
+its master signature→time caches *in proposal order*, which keeps
+``simulations``/``cache_hits`` accounting and every reported time identical
+to a serial (``workers=1``) run with the same seed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro import perf
+
+__all__ = ["BatchExecutor"]
+
+#: worker-global evaluator, set once per process by the pool initializer
+_WORKER = None
+
+
+def _init_worker(
+    compiled, datasets, device, seed: int, noise: float
+) -> None:
+    global _WORKER
+    from repro.tuning.tuner import Autotuner
+
+    _WORKER = Autotuner(
+        compiled, datasets, device, seed=seed, noise=noise, cache=True
+    )
+
+
+def _eval_configs(cfgs: list[dict[str, int]]) -> list[list[tuple]]:
+    assert _WORKER is not None, "worker pool not initialised"
+    return [_WORKER._eval(cfg) for cfg in cfgs]
+
+
+class BatchExecutor:
+    """A pool of evaluator processes for one tuning run."""
+
+    def __init__(self, tuner, workers: int):
+        self.workers = max(2, int(workers))
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(
+                tuner.compiled,
+                tuner.datasets,
+                tuner.device,
+                tuner.seed,
+                tuner.noise,
+            ),
+        )
+
+    def evaluate(
+        self, cfgs: Sequence[dict[str, int]]
+    ) -> list[list[tuple]]:
+        """Per-dataset (signature, time) lists for each configuration,
+        in the order given (contiguous chunks, one future per worker)."""
+        if not cfgs:
+            return []
+        perf.inc("tuner.parallel_batches")
+        n = len(cfgs)
+        chunk = max(1, -(-n // self.workers))  # ceil division
+        futures = [
+            self._pool.submit(_eval_configs, list(cfgs[i : i + chunk]))
+            for i in range(0, n, chunk)
+        ]
+        out: list[list[tuple]] = []
+        for fut in futures:
+            out.extend(fut.result())
+        return out
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)

@@ -2,23 +2,43 @@
 
 The artifact workflow tunes once and reuses the thresholds across runs;
 this module stores an assignment together with enough metadata to detect
-stale files (program name, threshold list, device, training datasets).
+stale files (program name, threshold list, a hash of the compiled program's
+branching tree, device, training datasets).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Mapping
 
 from repro.compiler import CompiledProgram
+from repro.flatten import render_tree
 
-__all__ = ["save_thresholds", "load_thresholds", "TuningFileError"]
+__all__ = [
+    "save_thresholds",
+    "load_thresholds",
+    "branching_tree_hash",
+    "TuningFileError",
+]
 
 _FORMAT = 1
 
 
 class TuningFileError(Exception):
     pass
+
+
+def branching_tree_hash(compiled: CompiledProgram) -> str:
+    """A stable hash of the compiled program's branching tree *structure*.
+
+    Hashes the rendered tree (guard nesting, threshold names and their
+    ``Par`` expressions), so a tuning file is invalidated whenever
+    recompilation changes which versions a threshold guards — even if the
+    set of threshold names happens to stay the same.
+    """
+    text = render_tree(compiled.branching_trees())
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def save_thresholds(
@@ -42,6 +62,7 @@ def save_thresholds(
             {"name": t.name, "kind": t.kind, "par": str(t.par)}
             for t in compiled.registry.items
         ],
+        "branching_tree": branching_tree_hash(compiled),
         "datasets": datasets or [],
     }
     with open(path, "w") as fh:
@@ -71,6 +92,12 @@ def load_thresholds(
         if not set(thresholds) <= expected:
             raise TuningFileError(
                 f"{path}: threshold names do not match the compiled program "
+                f"(stale tuning file?)"
+            )
+        stored_tree = doc.get("branching_tree")
+        if stored_tree is not None and stored_tree != branching_tree_hash(compiled):
+            raise TuningFileError(
+                f"{path}: branching tree differs from the compiled program "
                 f"(stale tuning file?)"
             )
     return thresholds

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro import perf
 from repro.interp.evaluator import DEFAULT_THRESHOLD
 from repro.ir import source as S
 from repro.ir import target as T
 from repro.ir.traverse import _spec
 
-__all__ = ["path_signature", "thresholds_in"]
+__all__ = ["path_signature", "thresholds_in", "SignatureEngine"]
 
 
 def thresholds_in(e: S.Exp) -> list[str]:
@@ -93,3 +94,85 @@ def path_signature(
 
     go(e)
     return tuple(sig)
+
+
+class SignatureEngine:
+    """Precompiled path signatures for one ``(program body, dataset)`` pair.
+
+    For a fixed dataset every ``ParCmp`` guard compares its *constant*
+    ``Par`` value against a threshold, and the §4.1 local-memory fallback
+    depends only on the guarded branch, the sizes and the device — all
+    constant too.  The engine walks the AST **once**, boiling it down to a
+    tree of ``(threshold, par, blocked)`` decision nodes; evaluating a
+    configuration then touches only the guards on its path instead of
+    re-walking the whole program, and agrees with :func:`path_signature`
+    node for node.
+    """
+
+    def __init__(self, e: S.Exp, sizes: Mapping[str, int], device=None):
+        self.sizes = dict(sizes)
+        self.device = device
+        self._names: list[str] = []
+        nodes = 0
+
+        def build(x: S.Exp) -> list[tuple]:
+            nonlocal nodes
+            nodes += 1
+            if isinstance(x, S.If) and isinstance(x.cond, T.ParCmp):
+                name = x.cond.threshold
+                if name not in self._names:
+                    self._names.append(name)
+                par = x.cond.par.eval(self.sizes)
+                blocked = False
+                if device is not None:
+                    from repro.gpu.cost import intra_local_demand
+
+                    blocked = (
+                        intra_local_demand(x.then, self.sizes) > device.local_mem
+                    )
+                return [(name, par, blocked, build(x.then), build(x.els))]
+            out: list[tuple] = []
+            for attr, kind in _spec(x):
+                val = getattr(x, attr)
+                if kind == "exp":
+                    out.extend(build(val))
+                elif kind == "exps":
+                    for sub in val:
+                        out.extend(build(sub))
+                elif kind == "lam":
+                    out.extend(build(val.body))
+                elif kind == "ctx":
+                    for b in val:
+                        for arr in b.arrays:
+                            out.extend(build(arr))
+            return out
+
+        self._tree = build(e)
+        perf.inc("signature.build_nodes", nodes)
+
+    @property
+    def threshold_names(self) -> tuple[str, ...]:
+        """Threshold names reachable in the tree, in discovery order."""
+        return tuple(self._names)
+
+    def config_key(self, thresholds: Mapping[str, int]) -> tuple[int, ...]:
+        """``thresholds`` restricted to the names that can affect the path."""
+        return tuple(thresholds.get(n, DEFAULT_THRESHOLD) for n in self._names)
+
+    def signature(
+        self, thresholds: Mapping[str, int]
+    ) -> tuple[tuple[str, bool], ...]:
+        """Equivalent to ``path_signature(e, sizes, thresholds, device)``."""
+        sig: list[tuple[str, bool]] = []
+
+        def go(nodes: list[tuple]) -> None:
+            for name, par, blocked, then_nodes, else_nodes in nodes:
+                taken = par >= thresholds.get(name, DEFAULT_THRESHOLD)
+                if taken and blocked:
+                    taken = False
+                sig.append((name, taken))
+                go(then_nodes if taken else else_nodes)
+
+        go(self._tree)
+        perf.inc("signature.eval_nodes", len(sig))
+        return tuple(sig)

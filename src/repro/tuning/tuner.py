@@ -9,7 +9,15 @@ but any callable over the per-dataset times may be supplied.
 The duplicate-path cache is the paper's key optimisation: before simulating,
 the tuner computes the configuration's *path signature* for each dataset
 (see :mod:`repro.tuning.tree`); a signature already measured returns its
-recorded runtime immediately.
+recorded runtime immediately.  Two further layers make the hot path fast
+(see ``docs/performance.md``): signatures are evaluated against a
+per-dataset precompiled decision tree (:class:`~repro.tuning.tree.
+SignatureEngine`) with a configuration→signature memo in front, and the
+kernel-cost cache inside :mod:`repro.gpu.cost` prices repeated kernels
+once.  Proposals can be evaluated in parallel worker processes
+(``tune(workers=N)``); results are merged deterministically, so parallel
+and serial runs with the same seed produce identical :class:`TuningResult`
+contents.
 """
 
 from __future__ import annotations
@@ -18,15 +26,19 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from repro import perf
 from repro.compiler import CompiledProgram
 from repro.gpu.device import DeviceSpec
 from repro.tuning.params import ParameterSpace
 from repro.tuning.search import make_technique
-from repro.tuning.tree import path_signature
+from repro.tuning.tree import SignatureEngine
 
 __all__ = ["Autotuner", "TuningResult"]
 
 CostFn = Callable[[Sequence[float]], float]
+
+#: path signature type (as produced by :func:`repro.tuning.tree.path_signature`)
+Sig = tuple
 
 
 def sum_cost(times: Sequence[float]) -> float:
@@ -41,7 +53,11 @@ class TuningResult:
     proposals: int
     simulations: int
     cache_hits: int
+    #: improving proposals only: (proposal number, new best cost)
     history: list[tuple[int, float]] = field(default_factory=list)
+    #: every evaluation in order: (configuration, cost) — the true
+    #: convergence curve, including non-improving proposals
+    full_history: list[tuple[dict[str, int], float]] = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -62,42 +78,118 @@ class Autotuner:
         lo: int = 1,
         hi: int = 2**30,
         noise: float = 0.0,
+        cache: bool | None = None,
     ):
         """``noise`` adds multiplicative Gaussian measurement noise (the
         paper reports up to 3 % run-to-run standard deviation); the cache
-        then stores the *observed* runtime, as real measurements would."""
+        then stores the *observed* runtime, as real measurements would.
+        Noise is derived deterministically from ``(seed, dataset, path
+        signature)`` so the observed time of a path does not depend on
+        evaluation order — a prerequisite for parallel evaluation.
+
+        ``cache=None`` follows the global switch (``REPRO_NO_CACHE``);
+        ``cache=False`` disables the duplicate-path cache so every
+        proposal is simulated from scratch (debugging/benchmarking).
+        """
         self.compiled = compiled
         self.datasets = [dict(d) for d in datasets]
         self.device = device
         self.cost_fn = cost_fn
+        self.seed = seed
         self.rng = random.Random(seed)
         self.noise = noise
+        self.cache = perf.caching_enabled() if cache is None else bool(cache)
         self.space = ParameterSpace(compiled.thresholds(), lo, hi)
+        #: per-dataset precompiled decision trees (fused signature walk)
+        self._engines = [
+            SignatureEngine(compiled.body, d, device) for d in self.datasets
+        ]
+        # per-dataset: restricted configuration -> path signature
+        self._sig_memo: list[dict[tuple, Sig]] = [{} for _ in self.datasets]
         # per-dataset: path signature -> simulated time
-        self._cache: list[dict[tuple, float]] = [{} for _ in self.datasets]
+        self._cache: list[dict[Sig, float]] = [{} for _ in self.datasets]
         self.simulations = 0
         self.cache_hits = 0
 
     # -- measurement -----------------------------------------------------------
 
-    def measure(self, thresholds: Mapping[str, int]) -> float:
-        """Cost of one configuration, via the duplicate-path cache."""
-        times = []
-        for i, sizes in enumerate(self.datasets):
-            sig = path_signature(self.compiled.body, sizes, thresholds, device=self.device)
+    def _signature(self, i: int, thresholds: Mapping[str, int]) -> Sig:
+        """Path signature of dataset ``i``, via the per-dataset memo."""
+        engine = self._engines[i]
+        if not self.cache:
+            return engine.signature(thresholds)
+        key = engine.config_key(thresholds)
+        memo = self._sig_memo[i]
+        sig = memo.get(key)
+        if sig is None:
+            sig = engine.signature(thresholds)
+            memo[key] = sig
+            perf.inc("signature.cache_misses")
+        else:
+            perf.inc("signature.cache_hits")
+        return sig
+
+    def _noise_factor(self, i: int, sig: Sig) -> float:
+        """Deterministic per-(dataset, path) measurement noise."""
+        rng = random.Random(f"{self.seed}|{self.noise}|{i}|{sig!r}")
+        return max(0.0, 1.0 + rng.gauss(0.0, self.noise))
+
+    def _simulate(self, i: int, thresholds: Mapping[str, int], sig: Sig) -> float:
+        perf.inc("tuner.simulations")
+        t = self.compiled.simulate(
+            self.datasets[i], self.device, thresholds=thresholds
+        ).time
+        if self.noise:
+            t *= self._noise_factor(i, sig)
+        return t
+
+    def _eval(self, thresholds: Mapping[str, int]) -> list[tuple[Sig, float]]:
+        """Per-dataset (signature, time) of one configuration, via caches."""
+        out: list[tuple[Sig, float]] = []
+        for i in range(len(self.datasets)):
+            sig = self._signature(i, thresholds)
+            if not self.cache:
+                self.simulations += 1
+                out.append((sig, self._simulate(i, thresholds, sig)))
+                continue
             cached = self._cache[i].get(sig)
             if cached is None:
-                cached = self.compiled.simulate(
-                    sizes, self.device, thresholds=thresholds
-                ).time
-                if self.noise:
-                    cached *= max(0.0, 1.0 + self.rng.gauss(0.0, self.noise))
+                cached = self._simulate(i, thresholds, sig)
                 self._cache[i][sig] = cached
                 self.simulations += 1
             else:
                 self.cache_hits += 1
+            out.append((sig, cached))
+        return out
+
+    def _merge(self, worker_out: Sequence[tuple[Sig, float]]) -> list[float]:
+        """Fold one worker-evaluated configuration into the master caches.
+
+        Times are deterministic functions of the path signature, so a
+        worker's value equals what a serial run would have computed; the
+        master cache decides — in proposal order — whether the evaluation
+        counts as a simulation or a cache hit, keeping counters identical
+        to a serial run.
+        """
+        times: list[float] = []
+        for i, (sig, t) in enumerate(worker_out):
+            if not self.cache:
+                self.simulations += 1
+                times.append(t)
+                continue
+            cached = self._cache[i].get(sig)
+            if cached is None:
+                self._cache[i][sig] = t
+                self.simulations += 1
+                cached = t
+            else:
+                self.cache_hits += 1
             times.append(cached)
-        return self.cost_fn(times)
+        return times
+
+    def measure(self, thresholds: Mapping[str, int]) -> float:
+        """Cost of one configuration, via the duplicate-path cache."""
+        return self.cost_fn([t for _, t in self._eval(thresholds)])
 
     # -- search ------------------------------------------------------------------
 
@@ -107,11 +199,22 @@ class Autotuner:
         technique: str = "bandit",
         include_default: bool = True,
         time_budget_s: float | None = None,
+        workers: int = 1,
+        batch_size: int = 1,
     ) -> TuningResult:
         """Search for the best threshold assignment.
 
         ``time_budget_s`` caps wall-clock search time (the paper lets the
-        tuner run for at most 20 minutes per benchmark, §5.1).
+        tuner run for at most 20 minutes per benchmark, §5.1); the deadline
+        is checked both before proposing and after measuring, so a slow
+        measurement ends the search instead of starting another round.
+
+        Proposals are processed in batches of ``batch_size``: a batch is
+        proposed against the incumbent best, evaluated, then fed back in
+        order.  ``workers > 1`` evaluates each batch in worker processes;
+        results are independent of ``workers`` (only of ``batch_size``),
+        so parallel and serial runs with the same seed return identical
+        results.  The defaults reproduce the classic serial behaviour.
         """
         import time as _time
 
@@ -122,30 +225,64 @@ class Autotuner:
         best_cfg: dict[str, int] | None = None
         best_cost = float("inf")
         history: list[tuple[int, float]] = []
+        full_history: list[tuple[dict[str, int], float]] = []
 
         candidates: list[dict[str, int]] = []
         if include_default:
             candidates.append(self.space.default_config())
 
+        executor = None
+        if workers > 1:
+            from repro.tuning.parallel import BatchExecutor
+
+            executor = BatchExecutor(self, workers)
+
         proposals = 0
-        while proposals < max_proposals:
-            if deadline is not None and _time.monotonic() >= deadline:
-                break
-            if candidates:
-                cfg = candidates.pop()
-            else:
-                cfg = tech.propose(self.space, self.rng, best_cfg)
-            proposals += 1
-            cost = self.measure(cfg)
-            improved = cost < best_cost
-            tech.feedback(improved)
-            if improved:
-                best_cfg, best_cost = dict(cfg), cost
-                history.append((proposals, cost))
+        try:
+            with perf.timer("tune"):
+                while proposals < max_proposals:
+                    if deadline is not None and _time.monotonic() >= deadline:
+                        break
+                    batch: list[dict[str, int]] = []
+                    while (
+                        len(batch) < batch_size
+                        and proposals + len(batch) < max_proposals
+                    ):
+                        if candidates:
+                            batch.append(candidates.pop())
+                        else:
+                            batch.append(tech.propose(self.space, self.rng, best_cfg))
+                    if executor is not None:
+                        all_times = [
+                            self._merge(out) for out in executor.evaluate(batch)
+                        ]
+                    else:
+                        all_times = [
+                            [t for _, t in self._eval(cfg)] for cfg in batch
+                        ]
+                    for cfg, times in zip(batch, all_times):
+                        cost = self.cost_fn(times)
+                        proposals += 1
+                        full_history.append((dict(cfg), cost))
+                        improved = cost < best_cost
+                        tech.feedback(improved)
+                        if improved:
+                            best_cfg, best_cost = dict(cfg), cost
+                            history.append((proposals, cost))
+                    if deadline is not None and _time.monotonic() >= deadline:
+                        break
+        finally:
+            if executor is not None:
+                executor.shutdown()
 
         if best_cfg is None:
+            # every round timed out before a measurement: fall back to the
+            # defaults, and account the fallback like any other proposal
             best_cfg = self.space.default_config()
             best_cost = self.measure(best_cfg)
+            proposals += 1
+            full_history.append((dict(best_cfg), best_cost))
+            history.append((proposals, best_cost))
         return TuningResult(
             best_thresholds=best_cfg,
             best_cost=best_cost,
@@ -153,4 +290,5 @@ class Autotuner:
             simulations=self.simulations,
             cache_hits=self.cache_hits,
             history=history,
+            full_history=full_history,
         )

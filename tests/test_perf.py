@@ -1,0 +1,64 @@
+"""The perf instrumentation module: counters, timers, cache registry."""
+
+from repro import perf
+
+
+def test_counters_accumulate_and_reset():
+    perf.reset()
+    perf.inc("x")
+    perf.inc("x", 2)
+    perf.inc("y", 0.5)
+    assert perf.counters()["x"] == 3
+    assert perf.counters()["y"] == 0.5
+    perf.reset()
+    assert "x" not in perf.counters()
+
+
+def test_timer_accumulates():
+    perf.reset()
+    with perf.timer("stage"):
+        pass
+    with perf.timer("stage"):
+        pass
+    assert perf.timers()["stage"] >= 0.0
+
+
+def test_timer_records_on_exception():
+    perf.reset()
+    try:
+        with perf.timer("boom"):
+            raise ValueError
+    except ValueError:
+        pass
+    assert "boom" in perf.timers()
+
+
+def test_snapshot_shape():
+    perf.reset()
+    perf.inc("a")
+    snap = perf.snapshot()
+    assert snap["counters"]["a"] == 1
+    assert isinstance(snap["timers"], dict)
+    # the simulator/tuner caches are registered at import time
+    assert "kernel.cost" in snap["cache_sizes"]
+    assert "compile" in snap["cache_sizes"]
+
+
+def test_caching_enabled_reads_env_dynamically(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    assert perf.caching_enabled()
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert not perf.caching_enabled()
+    monkeypatch.delenv("REPRO_NO_CACHE")
+    assert perf.caching_enabled()
+
+
+def test_register_and_clear_caches():
+    d = perf.register_cache("test.scratch", {})
+    try:
+        d["k"] = "v"
+        assert perf.snapshot()["cache_sizes"]["test.scratch"] == 1
+        perf.clear_caches()
+        assert d == {}
+    finally:
+        perf._CACHES.pop("test.scratch", None)

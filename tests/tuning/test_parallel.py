@@ -1,0 +1,84 @@
+"""Parallel proposal evaluation: deterministic, identical to serial runs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.programs.matmul import matmul_program, matmul_sizes
+from repro.compiler import compile_program
+from repro.gpu import K40
+from repro.tuning import Autotuner
+
+
+@pytest.fixture(scope="module")
+def matmul_if():
+    return compile_program(matmul_program(), "incremental")
+
+
+@pytest.fixture(scope="module")
+def train():
+    return [matmul_sizes(e, 20) for e in range(0, 11, 2)]
+
+
+def _tune(cp, datasets, *, seed, noise=0.0, workers=1, batch_size=1, n=60):
+    tuner = Autotuner(cp, datasets, K40, seed=seed, noise=noise)
+    return tuner.tune(max_proposals=n, workers=workers, batch_size=batch_size)
+
+
+def _assert_same(a, b):
+    assert a.best_thresholds == b.best_thresholds
+    assert a.best_cost == b.best_cost
+    assert a.proposals == b.proposals
+    assert a.simulations == b.simulations
+    assert a.cache_hits == b.cache_hits
+    assert a.history == b.history
+    assert a.full_history == b.full_history
+
+
+def test_parallel_equals_serial(matmul_if, train):
+    serial = _tune(matmul_if, train, seed=0, batch_size=4)
+    parallel = _tune(matmul_if, train, seed=0, workers=3, batch_size=4)
+    _assert_same(serial, parallel)
+
+
+def test_parallel_equals_serial_with_noise(matmul_if, train):
+    serial = _tune(matmul_if, train, seed=7, noise=0.03, batch_size=5)
+    parallel = _tune(matmul_if, train, seed=7, noise=0.03, workers=2, batch_size=5)
+    _assert_same(serial, parallel)
+
+
+def test_worker_count_does_not_change_results(matmul_if, train):
+    two = _tune(matmul_if, train, seed=1, workers=2, batch_size=6, n=36)
+    four = _tune(matmul_if, train, seed=1, workers=4, batch_size=6, n=36)
+    _assert_same(two, four)
+
+
+def test_batching_alone_preserves_classic_results(matmul_if, train):
+    """batch_size=1 (any workers) reproduces the unbatched serial search."""
+    classic = _tune(matmul_if, train, seed=3)
+    batched = _tune(matmul_if, train, seed=3, workers=2, batch_size=1)
+    _assert_same(classic, batched)
+
+
+def test_parallel_respects_max_proposals(matmul_if, train):
+    res = _tune(matmul_if, train, seed=0, workers=2, batch_size=7, n=30)
+    assert res.proposals == 30
+    assert len(res.full_history) == 30
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    noise=st.sampled_from([0.0, 0.01, 0.03]),
+    batch_size=st.integers(min_value=1, max_value=6),
+)
+def test_parallel_reproduces_serial_best(seed, noise, batch_size):
+    cp = compile_program(matmul_program(), "incremental")
+    datasets = [matmul_sizes(e, 20) for e in (1, 5, 9)]
+    serial = _tune(cp, datasets, seed=seed, noise=noise, batch_size=batch_size, n=24)
+    parallel = _tune(
+        cp, datasets, seed=seed, noise=noise, workers=2, batch_size=batch_size, n=24
+    )
+    assert serial.best_thresholds == parallel.best_thresholds
+    assert serial.best_cost == parallel.best_cost
+    assert serial.full_history == parallel.full_history

@@ -233,3 +233,96 @@ class TestTuningFiles:
         ])
         out = capsys.readouterr().out
         assert "ms" in out
+
+
+class TestAccounting:
+    """Deadline handling and result bookkeeping in Autotuner.tune."""
+
+    def test_deadline_checked_after_measure(self, matmul_if, train20):
+        """A budget that expires during the first measurement must stop the
+        search after that batch, not start another proposal round."""
+        tuner = Autotuner(matmul_if, train20, K40, seed=0)
+        res = tuner.tune(max_proposals=10**6, time_budget_s=1e-9)
+        # the first round's deadline check (before proposing) passes at
+        # t=0; the post-measure check then ends the search immediately
+        assert res.proposals <= 1
+
+    def test_zero_budget_fallback_is_accounted(self, matmul_if, train20):
+        tuner = Autotuner(matmul_if, train20, K40, seed=0)
+        res = tuner.tune(max_proposals=100, time_budget_s=1e-9)
+        assert res.best_thresholds == tuner.space.default_config()
+        # the fallback default measurement counts like any other proposal
+        assert res.proposals >= 1
+        assert len(res.full_history) == res.proposals
+        assert res.full_history[-1] == (res.best_thresholds, res.best_cost)
+        assert res.history  # and appears on the improvement curve
+
+    def test_full_history_records_every_proposal(self, matmul_if, train20):
+        tuner = Autotuner(matmul_if, train20, K40, seed=4)
+        res = tuner.tune(max_proposals=80)
+        assert len(res.full_history) == res.proposals == 80
+        assert min(c for _, c in res.full_history) == res.best_cost
+        # history is the improving subsequence of full_history
+        running = float("inf")
+        improvements = []
+        for n, (_, c) in enumerate(res.full_history, start=1):
+            if c < running:
+                running = c
+                improvements.append((n, c))
+        assert improvements == res.history
+
+    def test_full_history_configs_are_copies(self, matmul_if, train20):
+        tuner = Autotuner(matmul_if, train20, K40, seed=4)
+        res = tuner.tune(max_proposals=20)
+        cfg, _ = res.full_history[0]
+        cfg["tampered"] = 1
+        assert "tampered" not in res.best_thresholds
+
+
+class TestBranchingTreeHash:
+    """Tuning files are invalidated when the branching tree changes."""
+
+    def test_hash_stable_for_same_compilation(self, matmul_if):
+        from repro.tuning import branching_tree_hash
+
+        assert branching_tree_hash(matmul_if) == branching_tree_hash(matmul_if)
+
+    def test_roundtrip_with_hash(self, matmul_if, train20, tmp_path):
+        import json
+
+        from repro.tuning import branching_tree_hash, load_thresholds, save_thresholds
+
+        res = exhaustive_tune(matmul_if, train20, K40)
+        path = tmp_path / "mm.tuning"
+        save_thresholds(str(path), matmul_if, res.best_thresholds)
+        doc = json.loads(path.read_text())
+        assert doc["branching_tree"] == branching_tree_hash(matmul_if)
+        assert load_thresholds(str(path), matmul_if) == res.best_thresholds
+
+    def test_rejects_stale_tree(self, matmul_if, tmp_path):
+        import json
+
+        from repro.tuning import TuningFileError, load_thresholds, save_thresholds
+
+        path = tmp_path / "mm.tuning"
+        cfg = {t: 5 for t in matmul_if.thresholds()}
+        save_thresholds(str(path), matmul_if, cfg)
+        doc = json.loads(path.read_text())
+        doc["branching_tree"] = "0" * 64  # a recompile changed the tree
+        path.write_text(json.dumps(doc))
+        with pytest.raises(TuningFileError, match="branching tree"):
+            load_thresholds(str(path), matmul_if)
+
+    def test_tolerates_files_without_hash(self, matmul_if, tmp_path):
+        """Pre-hash tuning files still load (the field is optional)."""
+        import json
+
+        from repro.tuning import load_thresholds, save_thresholds
+
+        path = tmp_path / "mm.tuning"
+        cfg = {t: 5 for t in matmul_if.thresholds()}
+        save_thresholds(str(path), matmul_if, cfg)
+        doc = json.loads(path.read_text())
+        del doc["branching_tree"]
+        path.write_text(json.dumps(doc))
+        assert load_thresholds(str(path), matmul_if) == cfg

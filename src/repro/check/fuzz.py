@@ -1,0 +1,168 @@
+"""Fuzzing driver: generated programs through the differential executor.
+
+:func:`run_fuzz` draws recipes from :mod:`repro.check.genprog`, compiles
+each under every flattening mode, and runs the forced-path differential
+check.  Failures are shrunk to a minimal recipe and reported as corpus
+entries (JSON documents ready to be dropped into ``tests/corpus/`` as
+regression tests).  :func:`load_corpus` / :func:`check_recipe` replay
+such entries.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.check.differential import MODES, ProgramReport, differential_check
+from repro.check.genprog import (
+    build_program,
+    random_recipe,
+    recipe_datasets,
+    shrink_recipe,
+)
+from repro.ir.traverse import reset_fresh_names
+
+__all__ = ["FuzzFailure", "FuzzReport", "check_recipe", "load_corpus", "run_fuzz"]
+
+
+@dataclass
+class FuzzFailure:
+    """A counterexample: the shrunk recipe plus how it failed."""
+
+    index: int
+    recipe: dict
+    shrunk: dict
+    error: str
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "recipe": self.recipe,
+            "shrunk": self.shrunk,
+            "error": self.error,
+        }
+
+    def corpus_entry(self, note: str = "fuzz-found counterexample") -> dict:
+        """A document in the ``tests/corpus/`` format."""
+        return {"note": note, "error": self.error, **self.shrunk}
+
+
+@dataclass
+class FuzzReport:
+    examples: int
+    seed: int
+    modes: tuple[str, ...]
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "fuzz",
+            "ok": self.ok,
+            "examples": self.examples,
+            "seed": self.seed,
+            "modes": list(self.modes),
+            "failures": [f.to_json() for f in self.failures],
+        }
+
+
+def check_recipe(
+    recipe: dict,
+    *,
+    modes: Sequence[str] = MODES,
+    max_paths: int = 1024,
+    name: str = "gen",
+) -> ProgramReport:
+    """Differential-check one recipe on its own and a derived dataset.
+
+    Float overflow to ``inf`` is expected for generated programs (chained
+    ``*`` folds) and harmless — both sides fold identically — so numpy
+    warnings are silenced for the duration of the check.
+    """
+    import numpy as np
+
+    reset_fresh_names()
+    prog = build_program(recipe, name=name)
+    with np.errstate(all="ignore"):
+        return differential_check(
+            prog, recipe_datasets(recipe), modes=tuple(modes), max_paths=max_paths
+        )
+
+
+def _failure_message(report: ProgramReport) -> str:
+    for ds in report.datasets:
+        if ds.error:
+            return f"source interpreter on {ds.sizes}: {ds.error}"
+        for mr in ds.modes:
+            if mr.error:
+                return f"mode {mr.mode} on {ds.sizes}: {mr.error}"
+            for po in mr.failures:
+                return f"mode {mr.mode} on {ds.sizes}: path {po.thresholds}: {po.detail}"
+    return "unknown failure"
+
+
+def run_fuzz(
+    max_examples: int = 200,
+    seed: int = 0,
+    *,
+    modes: Sequence[str] = MODES,
+    max_depth: int = 3,
+    max_paths: int = 1024,
+    on_example=None,
+) -> FuzzReport:
+    """Fuzz the pipeline with ``max_examples`` generated programs.
+
+    Every failing example is shrunk with :func:`shrink_recipe` before being
+    recorded, so the report's corpus entries are already minimal.
+    ``on_example`` (if given) is called as ``on_example(i, ok)`` after each
+    example, for progress display.
+    """
+    rng = random.Random(seed)
+    report = FuzzReport(examples=max_examples, seed=seed, modes=tuple(modes))
+
+    def fails(recipe: dict) -> bool:
+        return not check_recipe(recipe, modes=modes, max_paths=max_paths).ok
+
+    for i in range(max_examples):
+        recipe = random_recipe(rng, max_depth=max_depth)
+        try:
+            ok = not fails(recipe)
+            error = None
+        except Exception as ex:  # compile/validate/interpret crash
+            ok = False
+            error = f"{type(ex).__name__}: {ex}"
+        if not ok:
+            def still_fails(r: dict) -> bool:
+                try:
+                    return fails(r)
+                except Exception:
+                    return True
+
+            shrunk = shrink_recipe(recipe, still_fails)
+            if error is None:
+                try:
+                    error = _failure_message(check_recipe(shrunk, modes=modes,
+                                                          max_paths=max_paths))
+                except Exception as ex:
+                    error = f"{type(ex).__name__}: {ex}"
+            report.failures.append(
+                FuzzFailure(index=i, recipe=recipe, shrunk=shrunk, error=error)
+            )
+        if on_example is not None:
+            on_example(i, ok)
+    return report
+
+
+def load_corpus(directory: str | Path) -> list[tuple[str, dict]]:
+    """Load ``(name, recipe)`` pairs from every ``*.json`` corpus file."""
+    out: list[tuple[str, dict]] = []
+    for path in sorted(Path(directory).glob("*.json")):
+        doc = json.loads(path.read_text())
+        out.append((path.stem, doc))
+    return out

@@ -15,6 +15,11 @@ Commands
   [--technique bandit|random|hillclimb|exhaustive]`` — autotune thresholds.
 * ``figures [NAMES...]`` — regenerate the paper's tables (fig2, fig7, fig8,
   ablation, code, autotuner-free).
+* ``check [PROGS...] [--fuzz] [--max-examples N] [--report out.json]`` —
+  differential correctness harness: validate the IR after every pass and
+  assert every forced code-version path computes bit-identical results to
+  the source interpreter; ``--fuzz`` additionally checks N generated
+  programs.  Exits nonzero on any failure.
 """
 
 from __future__ import annotations
@@ -257,6 +262,66 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    import json
+
+    from repro.check import check_all, run_fuzz, set_validation
+
+    set_validation(True)
+    try:
+        names = args.programs or None
+        modes = tuple(args.mode) if args.mode else ("moderate", "incremental", "full")
+        try:
+            reports = check_all(names, modes=modes, seed=args.seed,
+                                max_paths=args.max_paths)
+        except KeyError as ex:
+            raise SystemExit(ex.args[0]) from None
+        ok = True
+        for rep in reports:
+            status = "ok" if rep.ok else "FAIL"
+            print(f"  {rep.program:15} {rep.paths_checked:4} forced paths  {status}")
+            if not rep.ok:
+                ok = False
+                for ds in rep.datasets:
+                    if ds.error:
+                        print(f"    {ds.sizes}: {ds.error}")
+                    for mr in ds.modes:
+                        if mr.error:
+                            print(f"    {mr.mode} {ds.sizes}: {mr.error}")
+                        for po in mr.failures:
+                            print(f"    {mr.mode} {ds.sizes}: path "
+                                  f"{po.thresholds}: {po.detail}")
+        doc = {
+            "kind": "check",
+            "ok": ok,
+            "programs": [rep.to_json() for rep in reports],
+        }
+
+        if args.fuzz:
+            print(f"fuzzing {args.max_examples} generated programs "
+                  f"(seed {args.seed}) ...")
+            frep = run_fuzz(args.max_examples, args.seed, modes=modes,
+                            max_paths=args.max_paths)
+            doc["fuzz"] = frep.to_json()
+            if frep.ok:
+                print(f"  fuzz: {frep.examples} examples, no counterexample")
+            else:
+                ok = False
+                doc["ok"] = False
+                for f in frep.failures:
+                    print(f"  fuzz FAIL (example {f.index}): {f.error}")
+                    print(f"    shrunk recipe: {json.dumps(f.shrunk)}")
+
+        if args.report:
+            with open(args.report, "w") as fh:
+                json.dump(doc, fh, indent=2)
+            print(f"wrote {args.report}")
+        print("check:", "ok" if ok else "FAILED")
+        return 0 if ok else 1
+    finally:
+        set_validation(None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +370,23 @@ def build_parser() -> argparse.ArgumentParser:
     fp = sub.add_parser("figures", help="regenerate the paper's tables")
     fp.add_argument("names", nargs="*",
                     help="subset of: fig2 fig7 fig8 ablation code")
+
+    cp = sub.add_parser("check", help="differential correctness harness")
+    cp.add_argument("programs", nargs="*",
+                    help="benchmarks to check (default: all)")
+    cp.add_argument("--all", action="store_true",
+                    help="check all built-in benchmarks (the default)")
+    cp.add_argument("--fuzz", action="store_true",
+                    help="also fuzz with generated programs")
+    cp.add_argument("--max-examples", type=int, default=200,
+                    help="number of generated programs for --fuzz")
+    cp.add_argument("--max-paths", type=int, default=4096,
+                    help="cap on forced paths per (program, mode, dataset)")
+    cp.add_argument("--mode", action="append",
+                    choices=("moderate", "incremental", "full"),
+                    help="restrict to a flattening mode (repeatable)")
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--report", help="write a JSON report to this file")
     return p
 
 
@@ -317,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "tune": cmd_tune,
         "figures": cmd_figures,
+        "check": cmd_check,
     }[args.command]
     return handler(args)
 

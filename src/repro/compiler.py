@@ -4,6 +4,12 @@
 flattened body with its threshold registry and offers both value execution
 (:meth:`CompiledProgram.run`, via the reference interpreter) and cost
 simulation (:meth:`CompiledProgram.simulate`, via the GPU model).
+
+With ``REPRO_VALIDATE=1`` (always on under the test suite) the IR
+well-formedness validator (:mod:`repro.check.validate`) runs after every
+pass, so a pass that breaks scoping, typing, level nesting, or version-guard
+placement fails at the pass that introduced the violation rather than at
+some downstream consumer.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro import perf
+from repro.check.validate import validate, validation_enabled
 from repro.flatten import Flattener, ThresholdRegistry, branching_trees
 from repro.gpu.cost import AVal, Simulator, aval_from_type
 from repro.gpu.device import DeviceSpec
@@ -21,7 +28,6 @@ from repro.interp import run_program
 from repro.ir import source as S
 from repro.ir.builder import Program
 from repro.ir.traverse import count_nodes
-from repro.ir.typecheck import typeof, validate_levels
 from repro.ir.types import ArrayType
 from repro.passes import fuse, normalize, simplify
 
@@ -113,8 +119,14 @@ class CompiledProgram:
         return count_nodes(self.body)
 
     def check(self) -> None:
-        validate_levels(self.body, self.num_levels - 1)
-        typeof(self.body, self.prog.type_env())
+        """Run the full IR validator on the compiled body."""
+        validate(
+            self.body,
+            self.prog.type_env(),
+            stage=f"compiled[{self.mode}]",
+            max_level=self.num_levels - 1,
+            registry=self.registry,
+        )
 
 
 def compile_program(
@@ -131,14 +143,32 @@ def compile_program(
     """
     t0 = time.perf_counter()
     env = prog.type_env()
-    body = normalize(prog.body)
+    checking = validation_enabled()
+    src_types = validate(prog.body, env, stage="source") if checking else None
+
+    def _checked(body, stage, **kwargs):
+        if checking:
+            validate(body, env, stage=stage, expect=src_types, **kwargs)
+        return body
+
+    body = _checked(normalize(prog.body), "normalize")
     if do_fuse:
-        body = fuse(body)
-    body = simplify(body)
+        body = _checked(fuse(body), "fuse")
+    body = _checked(simplify(body), "simplify")
     fl = Flattener(mode=mode, num_levels=num_levels)
-    flat = fl.flatten(body, env)
+    flat = _checked(
+        fl.flatten(body, env),
+        f"flatten[{mode}]",
+        max_level=num_levels - 1,
+        registry=fl.registry,
+    )
     if do_simplify:
-        flat = simplify(flat)
+        flat = _checked(
+            simplify(flat),
+            f"flatten[{mode}]+simplify",
+            max_level=num_levels - 1,
+            registry=fl.registry,
+        )
     elapsed = time.perf_counter() - t0
     out = CompiledProgram(
         prog=prog,

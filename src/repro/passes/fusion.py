@@ -17,7 +17,7 @@ paper's Backprop experiment explicitly disables this pass for MF.
 from __future__ import annotations
 
 from repro.ir import source as S
-from repro.ir.traverse import fresh_name, map_children, walk
+from repro.ir.traverse import contains_parallel, fresh_name, map_children, walk
 
 __all__ = ["fuse"]
 
@@ -72,6 +72,15 @@ def _fuse_once(e: S.Exp) -> tuple[S.Exp, bool]:
         names = e.names
         uses = _count_uses(names, e.body)
         consumer = _find_consumer(e.body, names)
+        if (
+            isinstance(consumer, (S.Reduce, S.Scan))
+            and contains_parallel(consumer.lam.body)
+        ):
+            # A vector-operator reduce/scan must stay unfused: the
+            # flattener's G4 rewrite matches plain ``reduce``, and a
+            # redomap/scanomap with a parallel operator has no
+            # flattening rule at all.
+            consumer = None
         if consumer is not None and uses == len(names):
             producer: S.Map = e.rhs
             if isinstance(consumer, S.Reduce):

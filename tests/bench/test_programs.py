@@ -7,7 +7,6 @@ import pytest
 from repro.compiler import compile_program
 from repro.interp import run_program
 from repro.ir import source as S
-from repro.ir import target as T
 from repro.ir.traverse import walk
 from repro.ir.types import ArrayType
 
@@ -20,7 +19,7 @@ from repro.bench.programs.locvolcalib import (
     locvolcalib_program,
     locvolcalib_reference,
 )
-from repro.bench.programs.matmul import matmul_program, matmul_sizes
+from repro.bench.programs.matmul import matmul_program
 from repro.bench.programs.nn import nn_inputs, nn_program, nn_reference
 from repro.bench.programs.nw import nw_inputs, nw_program, nw_reference
 from repro.bench.programs.optionpricing import (

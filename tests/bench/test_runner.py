@@ -5,7 +5,6 @@ import pytest
 
 from repro.bench.baselines import vendor_matmul_time
 from repro.bench.runner import (
-    BULK_BENCHMARKS,
     code_expansion_rows,
     fig2_rows,
     fig7_rows,

@@ -1,0 +1,32 @@
+"""Suite-wide fixtures: always-on IR validation and golden-file updating."""
+
+import pytest
+
+from repro.check import set_validation
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _always_validate():
+    """Run the IR validator after every compiler pass for the whole suite.
+
+    This is the tests' equivalent of ``REPRO_VALIDATE=1``: any pass that
+    breaks scoping, typing, level nesting, or guard placement fails loudly
+    at the pass that introduced the violation.
+    """
+    set_validation(True)
+    yield
+    set_validation(None)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden files under tests/goldens/ instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")

@@ -1,11 +1,10 @@
 """Edge cases of the flattening engine beyond the per-rule tests."""
 
 import numpy as np
-import pytest
 
 from repro.compiler import compile_program
 from repro.flatten import Flattener
-from repro.interp import Evaluator, run_program
+from repro.interp import run_program
 from repro.ir import source as S
 from repro.ir import target as T
 from repro.ir.builder import (

@@ -11,7 +11,6 @@ from repro.ir.builder import (
     f32,
     i64,
     if_,
-    lam,
     let_,
     loop_,
     map_,
@@ -23,7 +22,7 @@ from repro.ir.builder import (
     transpose,
     v,
 )
-from repro.ir.target import EMPTY_CTX, Binding, Ctx
+from repro.ir.target import EMPTY_CTX
 from repro.ir.traverse import walk
 from repro.ir.typecheck import validate_levels
 from repro.ir.types import F32, array_of

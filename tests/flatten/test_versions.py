@@ -4,7 +4,7 @@ from repro.compiler import compile_program
 from repro.flatten import ThresholdRegistry, branching_trees, max_par, render_tree
 from repro.flatten.versions import BranchNode
 from repro.ir import target as T
-from repro.ir.builder import f32, op2, v
+from repro.ir.builder import v
 from repro.sizes import SizeConst, SizeVar
 
 from repro.bench.programs.locvolcalib import locvolcalib_program

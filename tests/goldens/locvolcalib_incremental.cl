@@ -1,0 +1,355 @@
+__kernel void locvolcalib_k0_segmap(long numT, __global float *xsss0, __global float *ysss0)
+{
+    long gid = get_global_id(0);
+    long i0 = gid;
+    __global float *xss0_0 = &xsss0[i0];
+    __global float *yss0_1 = &ysss0[i0];
+    __global float *xss_3 = xss0_0;
+    __global float *yss_4 = yss0_1;
+    for (long t_2 = 0; t_2 < numT; t_2++) {
+        auto a_23;
+        float res_71[/*n*/];  // sequential map
+        for (long k_72 = 0; k_72 < len(xss_3); k_72++) {
+            res_71[k_72] = ...;  // elementwise body
+        }
+        a_23 = res_71;
+        auto a_24;
+        float res_73[/*n*/];  // sequential map
+        for (long k_74 = 0; k_74 < len(yss_4); k_74++) {
+            res_73[k_74] = ...;  // elementwise body
+        }
+        a_24 = res_73;
+        xss_3, yss_4 = a_23, a_24;
+    }
+    out[gid] = xss_3, yss_4;
+}
+
+__kernel void locvolcalib_k1_segmap(long numT, __global float *xsss0, __global float *ysss0)
+{
+    long gid = get_global_id(0);
+    long i0 = gid;
+    __global float *xss0_0 = &xsss0[i0];
+    __global float *yss0_1 = &ysss0[i0];
+    __global float *xss_3 = xss0_0;
+    __global float *yss_4 = yss0_1;
+    for (long t_2 = 0; t_2 < numT; t_2++) {
+        auto a_23 = /* Let */;
+        auto a_24 = /* Let */;
+        xss_3, yss_4 = a_23, a_24;
+    }
+    out[gid] = xss_3, yss_4;
+}
+
+__kernel void locvolcalib_k2_segmap(__global float *xss_35, __global float *yss_36)
+{
+    long gid = get_global_id(0);
+    long i0 = gid;
+    __global float *xss_37 = &xss_35[i0];
+    __global float *yss_38 = &yss_36[i0];
+    __global float *a_23;
+    float res_75[/*n*/];  // sequential map
+    for (long k_76 = 0; k_76 < len(xss_37); k_76++) {
+        res_75[k_76] = ...;  // elementwise body
+    }
+    a_23 = res_75;
+    __global float *a_24;
+    float res_77[/*n*/];  // sequential map
+    for (long k_78 = 0; k_78 < len(yss_38); k_78++) {
+        res_77[k_78] = ...;  // elementwise body
+    }
+    a_24 = res_77;
+    out[gid] = a_23, a_24;
+}
+
+__kernel void locvolcalib_k3_segmap(__global float *xss_35, __global float *yss_36)
+{
+    long gid = get_global_id(0);
+    long i0 = gid;
+    __global float *xss_37 = &xss_35[i0];
+    __global float *yss_38 = &yss_36[i0];
+    __global float *a_23 = /* Let */;
+    __global float *a_24 = /* Let */;
+    out[gid] = a_23, a_24;
+}
+
+__kernel void locvolcalib_k4_segmap(__global float *xss_35)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numX);
+    __global float *xss_37 = &xss_35[i0];
+    long i1 = (gid) % (numX);
+    __global float *xs_5 = &xss_37[i1];
+    __global float *bs_12;
+    float res_79[/*n*/];  // sequential scan
+    for (long k_80 = 0; k_80 < len(xs_5); k_80++) {
+        res_79[k_80] = ...;  // elementwise body
+    }
+    bs_12 = res_79;
+    __global float *cs_13;
+    float res_81[/*n*/];  // sequential scan
+    for (long k_82 = 0; k_82 < len(bs_12); k_82++) {
+        res_81[k_82] = ...;  // elementwise body
+    }
+    cs_13 = res_81;
+    float res_83[/*n*/];  // sequential scan
+    for (long k_84 = 0; k_84 < len(cs_13); k_84++) {
+        res_83[k_84] = ...;  // elementwise body
+    }
+    out[gid] = res_83;
+}
+
+__kernel void locvolcalib_k5_segmap(__global float *xss_35)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numX);
+    __global float *xss_37 = &xss_35[i0];
+    long i1 = (gid) % (numX);
+    __global float *xs_5 = &xss_37[i1];
+    __global float *bs_12;
+    __local float buf_85[numY];  // segscan^0 result
+    for (long c = get_local_id(0); c < numY; c += get_local_size(0)) {
+        buf_85[c] = ...;  // element body
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // intra-group blocked scan over buf_85
+    for (long d = 1; d < numY; d <<= 1) {
+        if (get_local_id(0) >= d) buf_85[get_local_id(0)] = op(buf_85[get_local_id(0) - d], buf_85[get_local_id(0)]);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    bs_12 = buf_85;
+    __global float *cs_13;
+    __local float buf_86[numY];  // segscan^0 result
+    for (long c = get_local_id(0); c < numY; c += get_local_size(0)) {
+        buf_86[c] = ...;  // element body
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // intra-group blocked scan over buf_86
+    for (long d = 1; d < numY; d <<= 1) {
+        if (get_local_id(0) >= d) buf_86[get_local_id(0)] = op(buf_86[get_local_id(0) - d], buf_86[get_local_id(0)]);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    cs_13 = buf_86;
+    __local float buf_87[numY];  // segscan^0 result
+    for (long c = get_local_id(0); c < numY; c += get_local_size(0)) {
+        buf_87[c] = ...;  // element body
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // intra-group blocked scan over buf_87
+    for (long d = 1; d < numY; d <<= 1) {
+        if (get_local_id(0) >= d) buf_87[get_local_id(0)] = op(buf_87[get_local_id(0) - d], buf_87[get_local_id(0)]);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[gid] = buf_87;
+}
+
+__kernel void locvolcalib_k6_segscan(__global float *xss_35)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numX * numY);
+    __global float *xss_37 = &xss_35[i0];
+    long i1 = ((gid) % (numX * numY)) / (numY);
+    __global float *xs_5 = &xss_37[i1];
+    long i2 = ((gid) % (numX * numY)) % (numY);
+    float x_52 = xs_5[i2];
+    // grid-level segmented scan: pass 1 of 2
+    out[gid] = x_52;
+}
+
+__kernel void locvolcalib_k7_segscan(__global float *bs_54)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numX * numY);
+    __global float *bs_53 = &bs_54[i0];
+    long i1 = ((gid) % (numX * numY)) / (numY);
+    __global float *bs_12 = &bs_53[i1];
+    long i2 = ((gid) % (numX * numY)) % (numY);
+    float x_55 = bs_12[i2];
+    // grid-level segmented scan: pass 1 of 2
+    out[gid] = x_55;
+}
+
+__kernel void locvolcalib_k8_segscan(__global float *cs_57)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numX * numY);
+    __global float *cs_56 = &cs_57[i0];
+    long i1 = ((gid) % (numX * numY)) / (numY);
+    __global float *cs_13 = &cs_56[i1];
+    long i2 = ((gid) % (numX * numY)) % (numY);
+    float x_58 = cs_13[i2];
+    // grid-level segmented scan: pass 1 of 2
+    out[gid] = x_58;
+}
+
+__kernel void locvolcalib_k9_segmap(__global float *yss_36)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numY);
+    __global float *yss_38 = &yss_36[i0];
+    long i1 = (gid) % (numY);
+    __global float *ys_14 = &yss_38[i1];
+    __global float *bs_21;
+    float res_88[/*n*/];  // sequential scan
+    for (long k_89 = 0; k_89 < len(ys_14); k_89++) {
+        res_88[k_89] = ...;  // elementwise body
+    }
+    bs_21 = res_88;
+    __global float *cs_22;
+    float res_90[/*n*/];  // sequential scan
+    for (long k_91 = 0; k_91 < len(bs_21); k_91++) {
+        res_90[k_91] = ...;  // elementwise body
+    }
+    cs_22 = res_90;
+    float res_92[/*n*/];  // sequential scan
+    for (long k_93 = 0; k_93 < len(cs_22); k_93++) {
+        res_92[k_93] = ...;  // elementwise body
+    }
+    out[gid] = res_92;
+}
+
+__kernel void locvolcalib_k10_segmap(__global float *yss_36)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numY);
+    __global float *yss_38 = &yss_36[i0];
+    long i1 = (gid) % (numY);
+    __global float *ys_14 = &yss_38[i1];
+    __global float *bs_21;
+    __local float buf_94[numX];  // segscan^0 result
+    for (long c = get_local_id(0); c < numX; c += get_local_size(0)) {
+        buf_94[c] = ...;  // element body
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // intra-group blocked scan over buf_94
+    for (long d = 1; d < numX; d <<= 1) {
+        if (get_local_id(0) >= d) buf_94[get_local_id(0)] = op(buf_94[get_local_id(0) - d], buf_94[get_local_id(0)]);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    bs_21 = buf_94;
+    __global float *cs_22;
+    __local float buf_95[numX];  // segscan^0 result
+    for (long c = get_local_id(0); c < numX; c += get_local_size(0)) {
+        buf_95[c] = ...;  // element body
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // intra-group blocked scan over buf_95
+    for (long d = 1; d < numX; d <<= 1) {
+        if (get_local_id(0) >= d) buf_95[get_local_id(0)] = op(buf_95[get_local_id(0) - d], buf_95[get_local_id(0)]);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    cs_22 = buf_95;
+    __local float buf_96[numX];  // segscan^0 result
+    for (long c = get_local_id(0); c < numX; c += get_local_size(0)) {
+        buf_96[c] = ...;  // element body
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // intra-group blocked scan over buf_96
+    for (long d = 1; d < numX; d <<= 1) {
+        if (get_local_id(0) >= d) buf_96[get_local_id(0)] = op(buf_96[get_local_id(0) - d], buf_96[get_local_id(0)]);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[gid] = buf_96;
+}
+
+__kernel void locvolcalib_k11_segscan(__global float *yss_36)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numY * numX);
+    __global float *yss_38 = &yss_36[i0];
+    long i1 = ((gid) % (numY * numX)) / (numX);
+    __global float *ys_14 = &yss_38[i1];
+    long i2 = ((gid) % (numY * numX)) % (numX);
+    float x_63 = ys_14[i2];
+    // grid-level segmented scan: pass 1 of 2
+    out[gid] = x_63;
+}
+
+__kernel void locvolcalib_k12_segscan(__global float *bs_65)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numY * numX);
+    __global float *bs_64 = &bs_65[i0];
+    long i1 = ((gid) % (numY * numX)) / (numX);
+    __global float *bs_21 = &bs_64[i1];
+    long i2 = ((gid) % (numY * numX)) % (numX);
+    float x_66 = bs_21[i2];
+    // grid-level segmented scan: pass 1 of 2
+    out[gid] = x_66;
+}
+
+__kernel void locvolcalib_k13_segscan(__global float *cs_68)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (numY * numX);
+    __global float *cs_67 = &cs_68[i0];
+    long i1 = ((gid) % (numY * numX)) / (numX);
+    __global float *cs_22 = &cs_67[i1];
+    long i2 = ((gid) % (numY * numX)) % (numX);
+    float x_69 = cs_22[i2];
+    // grid-level segmented scan: pass 1 of 2
+    out[gid] = x_69;
+}
+
+// host driver for locvolcalib (incremental flattening)
+// tunable: t0 guards Par = numS*numX (suff_outer_par)
+// tunable: t1 guards Par = numS*numX*numY (suff_intra_par)
+// tunable: t2 guards Par = numS*numY (suff_outer_par)
+// tunable: t3 guards Par = numS*numX*numY (suff_intra_par)
+// tunable: t4 guards Par = numS (suff_outer_par)
+// tunable: t5 guards Par = numS*numX*numY (suff_intra_par)
+// tunable: t6 guards Par = numS (suff_outer_par)
+// tunable: t7 guards Par = numS*numX*numY (suff_intra_par)
+void locvolcalib_main(__global float *xsss0, __global float *ysss0, long numT)
+{
+    if ((numS >= t6)) {
+        launch1d(locvolcalib_k0_segmap, /*threads=*/numS, ...);
+    } else {
+        if ((numS*numX*numY >= t7)) {
+            launch1d(locvolcalib_k1_segmap, /*threads=*/numS, ...);
+        } else {
+            __global float *xss_35;
+            xss_35 = xsss0;
+            __global float *yss_36;
+            yss_36 = ysss0;
+            for (long t_2 = 0; t_2 < numT; t_2++) {
+                if ((numS >= t4)) {
+                    launch1d(locvolcalib_k2_segmap, /*threads=*/numS, ...);
+                } else {
+                    if ((numS*numX*numY >= t5)) {
+                        launch1d(locvolcalib_k3_segmap, /*threads=*/numS, ...);
+                    } else {
+                        __global float *a_59;  // device buffer
+                        if ((numS*numX >= t0)) {
+                            launch1d(locvolcalib_k4_segmap, /*threads=*/numS*numX, ...);
+                        } else {
+                            if ((numS*numX*numY >= t1)) {
+                                launch1d(locvolcalib_k5_segmap, /*threads=*/numS*numX, ...);
+                            } else {
+                                __global float *bs_54;  // device buffer
+                                launch1d(locvolcalib_k6_segscan, /*threads=*/numS*numX*numY, ...);
+                                __global float *cs_57;  // device buffer
+                                launch1d(locvolcalib_k7_segscan, /*threads=*/numS*numX*numY, ...);
+                                launch1d(locvolcalib_k8_segscan, /*threads=*/numS*numX*numY, ...);
+                            }
+                        }
+                        __global float *a_70;  // device buffer
+                        if ((numS*numY >= t2)) {
+                            launch1d(locvolcalib_k9_segmap, /*threads=*/numS*numY, ...);
+                        } else {
+                            if ((numS*numX*numY >= t3)) {
+                                launch1d(locvolcalib_k10_segmap, /*threads=*/numS*numY, ...);
+                            } else {
+                                __global float *bs_65;  // device buffer
+                                launch1d(locvolcalib_k11_segscan, /*threads=*/numS*numX*numY, ...);
+                                __global float *cs_68;  // device buffer
+                                launch1d(locvolcalib_k12_segscan, /*threads=*/numS*numX*numY, ...);
+                                launch1d(locvolcalib_k13_segscan, /*threads=*/numS*numX*numY, ...);
+                            }
+                        }
+                        // results: a_59, a_70
+                    }
+                }
+            }
+        }
+    }
+}

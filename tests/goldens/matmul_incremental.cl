@@ -1,0 +1,103 @@
+__kernel void matmul_k0_segmap(__global float *xss, __global float *yss)
+{
+    long gid = get_global_id(0);
+    long i0 = gid;
+    __global float *xs_0 = &xss[i0];
+    float res_6[/*n*/];  // sequential map
+    for (long k_7 = 0; k_7 < len(transposed(yss)); k_7++) {
+        res_6[k_7] = ...;  // elementwise body
+    }
+    out[gid] = res_6;
+}
+
+__kernel void matmul_k1_segmap(__global float *xss, __global float *yss)
+{
+    long gid = get_global_id(0);
+    long i0 = gid;
+    __global float *xs_0 = &xss[i0];
+    __local float buf_8[n * m];  // segred^0 result
+    for (long c = get_local_id(0); c < n * m; c += get_local_size(0)) {
+        buf_8[c] = ...;  // element body
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // intra-group tree reduction over buf_8
+    for (long s = get_local_size(0) / 2; s > 0; s >>= 1) {
+        if (get_local_id(0) < s) buf_8[get_local_id(0)] = op(buf_8[get_local_id(0)], buf_8[get_local_id(0) + s]);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[gid] = buf_8;
+}
+
+__kernel void matmul_k2_segmap(__global float *xss, __global float *yss)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (n);
+    __global float *xs_0 = &xss[i0];
+    long i1 = (gid) % (n);
+    __global float *ys_1 = &transposed(yss)[i1];
+    float acc_9 = 0.0f;
+    for (long k_10 = 0; k_10 < len(xs_0); k_10++) {
+        acc_9 = (acc_9 + (xs_0[k_10] * ys_1[k_10]));
+    }
+    out[gid] = acc_9;
+}
+
+__kernel void matmul_k3_segmap(__global float *xss, __global float *yss)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (n);
+    __global float *xs_0 = &xss[i0];
+    long i1 = (gid) % (n);
+    __global float *ys_1 = &transposed(yss)[i1];
+    __local float buf_11[m];  // segred^0 result
+    for (long c = get_local_id(0); c < m; c += get_local_size(0)) {
+        buf_11[c] = ...;  // element body
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // intra-group tree reduction over buf_11
+    for (long s = get_local_size(0) / 2; s > 0; s >>= 1) {
+        if (get_local_id(0) < s) buf_11[get_local_id(0)] = op(buf_11[get_local_id(0)], buf_11[get_local_id(0) + s]);
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[gid] = buf_11;
+}
+
+__kernel void matmul_k4_segred(__global float *xss, __global float *yss)
+{
+    long gid = get_global_id(0);
+    long i0 = (gid) / (n * m);
+    __global float *xs_0 = &xss[i0];
+    long i1 = ((gid) % (n * m)) / (m);
+    __global float *ys_1 = &transposed(yss)[i1];
+    long i2 = ((gid) % (n * m)) % (m);
+    float x_4 = xs_0[i2];
+    float y_5 = ys_1[i2];
+    // grid-level segmented reduction: stage 1
+    out[gid] = (x_4 * y_5);
+}
+
+// host driver for matmul (incremental flattening)
+// tunable: t0 guards Par = n*n (suff_outer_par)
+// tunable: t1 guards Par = m*n*n (suff_intra_par)
+// tunable: t2 guards Par = n (suff_outer_par)
+// tunable: t3 guards Par = m*n*n (suff_intra_par)
+void matmul_main(__global float *xss, __global float *yss)
+{
+    if ((n >= t2)) {
+        launch1d(matmul_k0_segmap, /*threads=*/n, ...);
+    } else {
+        if ((m*n*n >= t3)) {
+            launch1d(matmul_k1_segmap, /*threads=*/n, ...);
+        } else {
+            if ((n*n >= t0)) {
+                launch1d(matmul_k2_segmap, /*threads=*/n*n, ...);
+            } else {
+                if ((m*n*n >= t1)) {
+                    launch1d(matmul_k3_segmap, /*threads=*/n*n, ...);
+                } else {
+                    launch1d(matmul_k4_segred, /*threads=*/m*n*n, ...);
+                }
+            }
+        }
+    }
+}

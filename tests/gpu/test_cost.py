@@ -5,9 +5,8 @@ import math
 import pytest
 
 from repro.compiler import compile_program
-from repro.gpu import K40, VEGA64, Chain, LocalMemExceeded, Simulator, roofline_time
+from repro.gpu import K40, VEGA64, Chain, Simulator, roofline_time
 from repro.gpu.cost import AArr, AScal, aval_from_type, intra_local_demand
-from repro.ir import source as S
 from repro.ir import target as T
 from repro.ir.builder import Program, f32, map_, op2, redomap_, scan_, v
 from repro.ir.types import F32, array_of

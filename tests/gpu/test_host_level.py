@@ -5,7 +5,7 @@ import pytest
 
 from repro.compiler import compile_program
 from repro.gpu import K40
-from repro.gpu.cost import AArr, AScal, Simulator, aval_from_type
+from repro.gpu.cost import AArr, Simulator, aval_from_type
 from repro.ir import source as S
 from repro.ir.builder import (
     Program,
@@ -17,8 +17,6 @@ from repro.ir.builder import (
     let_,
     loop_,
     map_,
-    op2,
-    reduce_,
     replicate,
     size_e,
     v,

@@ -5,7 +5,7 @@ import numpy as np
 from repro.interp import Evaluator
 from repro.ir import source as S
 from repro.ir import target as T
-from repro.ir.builder import f32, i64, if_, let_, map_, op2, v
+from repro.ir.builder import f32, i64, if_, let_, map_, v
 from repro.ir.traverse import walk
 from repro.passes import simplify
 from repro.sizes import SizeVar

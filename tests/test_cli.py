@@ -1,5 +1,7 @@
 """CLI tests (direct main() invocation)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -129,3 +131,25 @@ class TestFigures:
         code, out = run(capsys, "figures", "code")
         assert code == 0
         assert "Code expansion" in out
+
+
+class TestCheck:
+    def test_check_single_program(self, capsys):
+        code, out = run(capsys, "check", "matmul")
+        assert code == 0
+        assert "forced paths" in out and "check: ok" in out
+
+    def test_check_with_fuzz_and_report(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        code, out = run(
+            capsys, "check", "nn", "--fuzz", "--max-examples", "5",
+            "--report", str(report),
+        )
+        assert code == 0
+        assert "no counterexample" in out
+        doc = json.loads(report.read_text())
+        assert doc["ok"] and doc["fuzz"]["examples"] == 5
+
+    def test_check_unknown_program(self):
+        with pytest.raises(SystemExit):
+            main(["check", "not-a-benchmark"])

@@ -4,9 +4,6 @@ import pytest
 
 from repro.codegen import generate_opencl
 from repro.compiler import compile_program
-from repro.ir import target as T
-from repro.ir.traverse import walk
-from repro.ir.typecheck import _top_segops
 
 from repro.bench.programs.backprop import backprop_program
 from repro.bench.programs.heston import heston_program
@@ -118,7 +115,7 @@ class TestSizeMetric:
 
 class TestIntrinsics:
     def test_intrinsic_renders_as_call(self):
-        import repro.bench.references  # registers thomas_tridag
+        import repro.bench.references  # noqa: F401  (registers thomas_tridag)
 
         from repro.ir.builder import Program, intrinsic, map_, v
         from repro.ir.types import F32, array_of

@@ -1,0 +1,55 @@
+"""Golden-file tests for the pseudo-OpenCL code generator.
+
+The goldens pin the exact generated source for matmul and LocVolCalib under
+incremental flattening, so any codegen or pipeline change that alters the
+emitted kernels shows up as a readable diff.  After an intentional change,
+regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_codegen_goldens.py --update-goldens
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.programs.locvolcalib import locvolcalib_program
+from repro.bench.programs.matmul import matmul_program
+from repro.codegen import generate_opencl
+from repro.compiler import compile_program
+from repro.ir.traverse import reset_fresh_names
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+PROGRAMS = {
+    "matmul": matmul_program,
+    "locvolcalib": locvolcalib_program,
+}
+
+
+def _generate(name: str) -> str:
+    # the fresh-name counter is global state: reset it so the generated
+    # source is identical no matter which tests ran before this one
+    reset_fresh_names()
+    cp = compile_program(PROGRAMS[name](), "incremental")
+    return generate_opencl(cp).full_source() + "\n"
+
+
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_opencl_golden(name, update_goldens):
+    path = GOLDEN_DIR / f"{name}_incremental.cl"
+    got = _generate(name)
+    if update_goldens:
+        path.write_text(got)
+        pytest.skip(f"updated {path}")
+    assert path.exists(), (
+        f"missing golden {path}; run pytest with --update-goldens to create it"
+    )
+    want = path.read_text()
+    assert got == want, (
+        f"generated OpenCL for {name} differs from {path}; if the change is "
+        f"intentional, regenerate with --update-goldens"
+    )
+
+
+def test_goldens_are_deterministic():
+    assert _generate("matmul") == _generate("matmul")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.compiler import CompiledProgram, compile_program
+from repro.compiler import compile_program
 from repro.gpu import K40, VEGA64
 from repro.ir import source as S
 from repro.ir.builder import Program, f32, map_, op2, redomap_, v

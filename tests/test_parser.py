@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.interp import Evaluator, run_program
 from repro.ir import source as S
-from repro.ir.types import BOOL, F32, F64, I32, I64, ArrayType
+from repro.ir.types import F32, F64, I32, I64, ArrayType
 from repro.parser import LexError, ParseError, parse_exp, parse_program, parse_programs, tokenize
 
 EV = Evaluator(sizes={"n": 4, "m": 3})

@@ -20,6 +20,14 @@ Commands
   assert every forced code-version path computes bit-identical results to
   the source interpreter; ``--fuzz`` additionally checks N generated
   programs.  Exits nonzero on any failure.
+* ``profile PROG [--trace out.json] [--proposals N]`` — run the whole
+  pipeline (parse → passes → flatten → codegen → tune → simulate) under
+  the span tracer and print an aggregated summary; ``--trace`` writes a
+  Chrome-trace JSON file for ``chrome://tracing`` / Perfetto (see
+  ``docs/observability.md``).
+
+``show``, ``simulate``, ``tune`` and ``check`` also accept
+``--trace out.json`` to capture a trace of that command.
 """
 
 from __future__ import annotations
@@ -166,7 +174,7 @@ def cmd_simulate(args) -> int:
     if args.tuning:
         from repro.tuning import load_thresholds
 
-        th = dict(load_thresholds(args.tuning, cp), **th)
+        th = dict(load_thresholds(args.tuning, cp, device=device.name), **th)
     rep = cp.simulate(sizes, device, thresholds=th or None)
     print(
         f"{prog.name} on {device.name}: {rep.time*1e3:.4f} ms "
@@ -204,13 +212,17 @@ def cmd_tune(args) -> int:
         f"(dedup {res.dedup_ratio:.0%})"
     )
     if args.output:
-        from repro.tuning import save_thresholds
+        from repro.tuning import save_telemetry, save_thresholds, telemetry_path
 
         save_thresholds(
             args.output, cp, res.best_thresholds,
             device=device.name, datasets=datasets,
         )
         print(f"wrote {args.output}")
+        if hasattr(res, "telemetry"):
+            tpath = telemetry_path(args.output)
+            save_telemetry(tpath, res, cp, device=device.name)
+            print(f"wrote {tpath}")
     return 0
 
 
@@ -259,6 +271,77 @@ def cmd_figures(args) -> int:
                 f"  {name:14} compile x{tr:5.2f}  AST x{sr:5.2f}  "
                 f"genLOC x{lr:5.2f}  ({nk} kernels)"
             )
+    return 0
+
+
+def _default_datasets(name: str) -> list[dict[str, int]]:
+    """Built-in training datasets for a benchmark (profile convenience)."""
+    from repro.bench.datasets import TABLE1, table1_sizes
+    from repro.bench.programs.locvolcalib import locvolcalib_sizes
+    from repro.bench.programs.matmul import matmul_sizes
+
+    low = name.lower()
+    for key in TABLE1:
+        if key.lower() == low:
+            return [table1_sizes(key, d) for d in TABLE1[key]]
+    if low == "matmul":
+        return [matmul_sizes(e, 20) for e in (2, 6, 10)]
+    if low == "locvolcalib":
+        return [locvolcalib_sizes(n) for n in ("small", "medium")]
+    raise SystemExit(
+        f"no built-in datasets for {name!r}: pass --dataset n=...,m=..."
+    )
+
+
+def cmd_profile(args) -> int:
+    """Trace the whole pipeline for one program and summarise it."""
+    from repro import obs, perf
+    from repro.codegen.opencl import generate_opencl
+    from repro.compiler import compile_program
+    from repro.tuning import Autotuner
+
+    prog = _resolve_program(args.program)
+    datasets = [_parse_kv([d]) for d in args.dataset] or _default_datasets(
+        prog.name
+    )
+    device = _devices()[args.device]
+
+    cp = compile_program(prog, args.mode)
+    code = generate_opencl(cp)
+    tuner = Autotuner(cp, datasets, device, seed=args.seed)
+    res = tuner.tune(max_proposals=args.proposals)
+    rep = cp.simulate(datasets[0], device, thresholds=res.best_thresholds)
+
+    print(
+        f"{prog.name}: mode={args.mode}, {len(cp.registry)} thresholds, "
+        f"{cp.code_size()} AST nodes, {code.num_kernels} kernels, "
+        f"{code.loc} generated LOC"
+    )
+    print(
+        f"tune[{device.name}]: {res.proposals} proposals, "
+        f"{res.simulations} simulations, {res.cache_hits} cache hits "
+        f"(dedup {res.dedup_ratio:.0%}), best {res.best_cost*1e3:.4f} ms"
+    )
+    print(
+        f"simulate[{device.name}] at best thresholds: {rep.time*1e3:.4f} ms "
+        f"({rep.num_kernels} kernels)"
+    )
+    tracer = obs.current()
+    if tracer is not None:
+        tracer.metadata.update(
+            program=prog.name, mode=args.mode, device=device.name
+        )
+        print()
+        print(obs.render_summary(tracer))
+    snap = perf.snapshot()
+    interesting = {
+        k: v for k, v in sorted(snap["counters"].items())
+        if not k.endswith("_nodes")
+    }
+    print()
+    print("perf counters:")
+    for k, v in interesting.items():
+        print(f"  {k:32} {v:12.0f}")
     return 0
 
 
@@ -337,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--mode", default="incremental",
                     choices=("moderate", "incremental", "full"))
     sp.add_argument("--tree", action="store_true", help="print branching tree")
+    sp.add_argument("--trace", help="write a Chrome-trace JSON file")
 
     rp = sub.add_parser("run", help="run on random inputs (interpreter)")
     rp.add_argument("program")
@@ -355,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     mp.add_argument("--device", default="K40", choices=("K40", "Vega64"))
     mp.add_argument("--kernels", action="store_true", help="per-kernel stats")
     mp.add_argument("--tuning", help="read thresholds from a .tuning file")
+    mp.add_argument("--trace", help="write a Chrome-trace JSON file")
 
     tp = sub.add_parser("tune", help="autotune thresholds")
     tp.add_argument("program")
@@ -365,7 +450,9 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("bandit", "random", "hillclimb", "exhaustive"))
     tp.add_argument("--proposals", type=int, default=300)
     tp.add_argument("--seed", type=int, default=0)
-    tp.add_argument("--output", help="write a .tuning JSON file")
+    tp.add_argument("--output", help="write a .tuning JSON file "
+                    "(+ a .telemetry.json convergence file)")
+    tp.add_argument("--trace", help="write a Chrome-trace JSON file")
 
     fp = sub.add_parser("figures", help="regenerate the paper's tables")
     fp.add_argument("names", nargs="*",
@@ -387,6 +474,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="restrict to a flattening mode (repeatable)")
     cp.add_argument("--seed", type=int, default=0)
     cp.add_argument("--report", help="write a JSON report to this file")
+    cp.add_argument("--trace", help="write a Chrome-trace JSON file")
+
+    pp = sub.add_parser(
+        "profile", help="trace the whole pipeline and summarise spans"
+    )
+    pp.add_argument("program")
+    pp.add_argument("--mode", default="incremental",
+                    choices=("moderate", "incremental", "full"))
+    pp.add_argument("--dataset", action="append", default=[],
+                    help="one dataset: n=4096,m=32 (repeatable; "
+                    "defaults to the benchmark's built-in datasets)")
+    pp.add_argument("--device", default="K40", choices=("K40", "Vega64"))
+    pp.add_argument("--proposals", type=int, default=48,
+                    help="tuner proposals for the traced tuning run")
+    pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument("--trace", help="write a Chrome-trace JSON file")
     return p
 
 
@@ -400,7 +503,18 @@ def main(argv: list[str] | None = None) -> int:
         "tune": cmd_tune,
         "figures": cmd_figures,
         "check": cmd_check,
+        "profile": cmd_profile,
     }[args.command]
+    trace_path = getattr(args, "trace", None)
+    if trace_path or args.command == "profile":
+        from repro import obs
+
+        with obs.tracing(process_name=f"repro {args.command}") as tracer:
+            code = handler(args)
+        if trace_path:
+            obs.write_chrome_trace(tracer, trace_path)
+            print(f"wrote {trace_path}")
+        return code
     return handler(args)
 
 

@@ -21,6 +21,7 @@ from repro.ir import target as T
 from repro.ir.typecheck import TypeError_, typeof
 from repro.ir.types import ArrayType, ScalarType, Type
 from repro.ir.traverse import fresh_name
+from repro.obs import trace as obs
 
 __all__ = ["GeneratedCode", "generate_opencl"]
 
@@ -396,4 +397,11 @@ class _Gen:
 
 def generate_opencl(compiled: CompiledProgram) -> GeneratedCode:
     """Generate pseudo-OpenCL for a compiled program."""
-    return _Gen(compiled).generate()
+    with obs.span(
+        "pass.codegen", cat="compiler",
+        program=compiled.prog.name, mode=compiled.mode,
+    ) as sp:
+        code = _Gen(compiled).generate()
+        sp["kernels"] = code.num_kernels
+        sp["loc"] = code.loc
+    return code

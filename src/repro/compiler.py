@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro import perf
+from repro.obs import trace as obs
 from repro.check.validate import validate, validation_enabled
 from repro.flatten import Flattener, ThresholdRegistry, branching_trees
 from repro.gpu.cost import AVal, Simulator, aval_from_type
@@ -144,31 +145,48 @@ def compile_program(
     t0 = time.perf_counter()
     env = prog.type_env()
     checking = validation_enabled()
-    src_types = validate(prog.body, env, stage="source") if checking else None
+    tracing = obs.enabled()
 
     def _checked(body, stage, **kwargs):
         if checking:
-            validate(body, env, stage=stage, expect=src_types, **kwargs)
+            with obs.span(f"validate.{stage}", cat="compiler"):
+                validate(body, env, stage=stage, expect=src_types, **kwargs)
         return body
 
-    body = _checked(normalize(prog.body), "normalize")
-    if do_fuse:
-        body = _checked(fuse(body), "fuse")
-    body = _checked(simplify(body), "simplify")
-    fl = Flattener(mode=mode, num_levels=num_levels)
-    flat = _checked(
-        fl.flatten(body, env),
-        f"flatten[{mode}]",
-        max_level=num_levels - 1,
-        registry=fl.registry,
-    )
-    if do_simplify:
-        flat = _checked(
-            simplify(flat),
-            f"flatten[{mode}]+simplify",
+    def _pass(stage, fn, body, stage_name=None, **kwargs):
+        """Run one pass under a span recording its IR node-count delta."""
+        with obs.span(f"pass.{stage}", cat="compiler") as sp:
+            if tracing:
+                sp["nodes_before"] = count_nodes(body)
+            out = fn(body)
+            if tracing:
+                sp["nodes_after"] = count_nodes(out)
+        return _checked(out, stage_name or stage, **kwargs)
+
+    with obs.span("compile", cat="compiler", program=prog.name, mode=mode):
+        src_types = validate(prog.body, env, stage="source") if checking else None
+        body = _pass("normalize", normalize, prog.body)
+        if do_fuse:
+            body = _pass("fuse", fuse, body)
+        body = _pass("simplify", simplify, body)
+        fl = Flattener(mode=mode, num_levels=num_levels)
+        flat = _pass(
+            "flatten",
+            lambda b: fl.flatten(b, env),
+            body,
+            stage_name=f"flatten[{mode}]",
             max_level=num_levels - 1,
             registry=fl.registry,
         )
+        if do_simplify:
+            flat = _pass(
+                "flatten+simplify",
+                simplify,
+                flat,
+                stage_name=f"flatten[{mode}]+simplify",
+                max_level=num_levels - 1,
+                registry=fl.registry,
+            )
     elapsed = time.perf_counter() - t0
     out = CompiledProgram(
         prog=prog,

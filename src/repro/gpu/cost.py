@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 from repro import perf
+from repro.obs import trace as obs
 from repro.gpu.device import DeviceSpec
 from repro.gpu.report import Chain, CostReport, KernelStats
 from repro.gpu.tiling import tiling_factor
@@ -500,6 +501,30 @@ class Simulator:
                 self._charge_read(arr, chain)
 
     def _kernel(self, op: T.SegOp, env: dict[str, AVal], rep: CostReport):
+        """Price one host-level kernel launch (span-traced when tracing)."""
+        tracer = obs.current()
+        if tracer is None:
+            if not self.cache:
+                return self._kernel_raw(op, env, rep)
+            return self._kernel_cached(op, env, rep)
+        with tracer.span(
+            "kernel.launch", cat="sim",
+            kind=type(op).__name__, level=op.level, cached=self.cache,
+        ) as sp:
+            n0 = len(rep.kernels)
+            if not self.cache:
+                vals = self._kernel_raw(op, env, rep)
+            else:
+                vals = self._kernel_cached(op, env, rep)
+            launched = rep.kernels[n0:]
+            sp["kernels"] = len(launched)
+            sp["sim_time_us"] = sum(k.time for k in launched) * 1e6
+            if launched:
+                sp["threads"] = launched[0].threads
+                sp["group_size"] = launched[0].group_size
+        return vals
+
+    def _kernel_cached(self, op: T.SegOp, env: dict[str, AVal], rep: CostReport):
         """Price one host-level kernel, via the kernel-cost cache.
 
         Cache replay merges per kernel (``rep.time += k.time`` for each
@@ -507,8 +532,6 @@ class Simulator:
         accumulation order of a cold walk — memoized and cache-disabled
         simulations agree bit for bit.
         """
-        if not self.cache:
-            return self._kernel_raw(op, env, rep)
         meta = _op_meta(op)
         sizes = self.sizes
         if meta.full_sizes:

@@ -1,0 +1,54 @@
+"""Structured tracing and observability (see ``docs/observability.md``).
+
+The paper's argument is about *measured* behaviour — which branching-tree
+path ran, what the tuner converged to, what each compiler pass did to the
+program — so this package makes those measurements first-class:
+
+* :mod:`repro.obs.trace` — the span tracer (nested, thread-safe, near-zero
+  cost when off).  Instrumentation lives in the compiler (one span per
+  pass, with IR node deltas), the parser, the OpenCL code generator, the
+  GPU cost simulator (one span per simulated kernel launch), and the
+  autotuner (one span per proposal).
+* :mod:`repro.obs.chrome` — export to Chrome-trace JSON for
+  ``chrome://tracing`` / Perfetto.
+* :mod:`repro.obs.summary` — aggregated human-readable tables.
+
+Entry points: ``repro profile PROG`` and the ``--trace out.json`` flag on
+the ``show``/``simulate``/``tune``/``check`` subcommands.  The
+:mod:`repro.perf` counters/timers are built on the same backbone: every
+``perf.timer`` block also records a span while tracing is active.
+"""
+
+from repro.obs.chrome import dump_chrome, to_chrome, write_chrome_trace
+from repro.obs.summary import SpanStats, aggregate, render_summary
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current,
+    enabled,
+    instant,
+    span,
+    start,
+    stop,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "start",
+    "stop",
+    "current",
+    "enabled",
+    "tracing",
+    "span",
+    "instant",
+    "to_chrome",
+    "dump_chrome",
+    "write_chrome_trace",
+    "SpanStats",
+    "aggregate",
+    "render_summary",
+]

@@ -1,0 +1,91 @@
+"""Chrome-trace (Trace Event Format) export.
+
+Serialises a :class:`~repro.obs.trace.Tracer` into the JSON object format
+consumed by ``chrome://tracing`` and Perfetto (https://ui.perfetto.dev):
+a ``traceEvents`` list of complete (``"ph": "X"``) and instant
+(``"ph": "i"``) events with microsecond timestamps, plus metadata events
+naming the process.  See ``docs/observability.md`` for the schema and how
+the repro span model maps onto it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, IO
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["to_chrome", "dump_chrome", "write_chrome_trace"]
+
+#: schema version stamped into ``otherData`` (bump on breaking changes)
+TRACE_SCHEMA = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce span args to JSON-serialisable values (repr as a last resort)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # strict-JSON consumers reject Infinity/NaN
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def _event(sp: Span, pid: int, ph: str) -> dict:
+    ev = {
+        "name": sp.name,
+        "cat": sp.cat,
+        "ph": ph,
+        "ts": sp.ts * 1e6,
+        "pid": pid,
+        "tid": sp.tid,
+        "args": _json_safe(sp.args),
+    }
+    if ph == "X":
+        ev["dur"] = sp.dur * 1e6
+    else:
+        ev["s"] = "t"  # thread-scoped instant
+    return ev
+
+
+def to_chrome(tracer: Tracer) -> dict:
+    """The tracer's events as a Chrome-trace JSON *object* (not a string)."""
+    pid = os.getpid()
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": tracer.process_name},
+        }
+    ]
+    with tracer._lock:
+        spans = list(tracer.spans)
+        instants = list(tracer.instants)
+    events.extend(_event(sp, pid, "X") for sp in spans)
+    events.extend(_event(sp, pid, "i") for sp in instants)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(
+            {"schema": TRACE_SCHEMA, "tracer": tracer.process_name},
+            **_json_safe(tracer.metadata),
+        ),
+    }
+
+
+def dump_chrome(tracer: Tracer, fh: IO[str]) -> None:
+    json.dump(to_chrome(tracer), fh, indent=1)
+    fh.write("\n")
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write the trace to ``path`` as Chrome-trace JSON."""
+    with open(path, "w") as fh:
+        dump_chrome(tracer, fh)

@@ -1,0 +1,67 @@
+"""Human-readable trace summaries.
+
+Aggregates a tracer's spans by ``(category, name)`` into count / total /
+mean / max wall time and renders a fixed-width table — the quick look that
+doesn't require opening the trace in Perfetto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Tracer
+
+__all__ = ["SpanStats", "aggregate", "render_summary"]
+
+
+@dataclass
+class SpanStats:
+    cat: str
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    #: merged span attributes: last write wins per key (useful for the
+    #: one-shot compiler-pass spans, meaningless for per-kernel spans)
+    args: dict = field(default_factory=dict)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def aggregate(tracer: Tracer) -> list[SpanStats]:
+    """Per-(category, name) statistics, sorted by total time descending."""
+    stats: dict[tuple[str, str], SpanStats] = {}
+    with tracer._lock:
+        spans = list(tracer.spans)
+    for sp in spans:
+        st = stats.get((sp.cat, sp.name))
+        if st is None:
+            st = stats[(sp.cat, sp.name)] = SpanStats(sp.cat, sp.name)
+        st.count += 1
+        st.total_s += sp.dur
+        st.max_s = max(st.max_s, sp.dur)
+        st.args.update(sp.args)
+    return sorted(stats.values(), key=lambda s: -s.total_s)
+
+
+def render_summary(tracer: Tracer) -> str:
+    """A fixed-width text table of the aggregated span statistics."""
+    rows = aggregate(tracer)
+    out = [f"trace summary — {tracer.process_name}"]
+    if not rows:
+        out.append("  (no spans recorded)")
+        return "\n".join(out)
+    width = max(len(f"{s.cat}/{s.name}") for s in rows)
+    out.append(
+        f"  {'span':{width}}  {'count':>6}  {'total ms':>10}  "
+        f"{'mean ms':>9}  {'max ms':>9}"
+    )
+    for s in rows:
+        out.append(
+            f"  {s.cat + '/' + s.name:{width}}  {s.count:>6}  "
+            f"{s.total_s * 1e3:>10.3f}  {s.mean_s * 1e3:>9.3f}  "
+            f"{s.max_s * 1e3:>9.3f}"
+        )
+    return "\n".join(out)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.ir import source as S
 from repro.ir.builder import Program
+from repro.obs import trace as obs
 from repro.ir.types import BOOL, F32, F64, I32, I64, ArrayType, ScalarType, Type
 from repro.parser.lexer import Token, tokenize
 from repro.sizes import SizeConst, SizeVar
@@ -416,11 +417,15 @@ def parse_exp(src: str) -> S.Exp:
 
 def parse_program(src: str) -> Program:
     """Parse one ``def`` program."""
-    p = _Parser(tokenize(src))
-    prog = p.parse_program()
-    tok = p.peek()
-    if tok.kind != "eof":
-        raise ParseError(f"trailing input at {tok.line}:{tok.col}: {tok.text!r}")
+    with obs.span("pass.parse", cat="compiler", chars=len(src)) as sp:
+        p = _Parser(tokenize(src))
+        prog = p.parse_program()
+        tok = p.peek()
+        if tok.kind != "eof":
+            raise ParseError(
+                f"trailing input at {tok.line}:{tok.col}: {tok.text!r}"
+            )
+        sp["program"] = prog.name
     return prog
 
 

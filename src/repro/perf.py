@@ -3,10 +3,20 @@
 The tune/simulate hot path is layered with caches (see
 ``docs/performance.md``); this module provides the counters and timers that
 make their effectiveness observable, plus the global cache kill-switch.
+It is the metrics backbone of the observability layer
+(``docs/observability.md``): while a tracer is active
+(:mod:`repro.obs.trace`), every :func:`timer` block also records a span.
 
 * :func:`inc` / :func:`counters` — named monotonic counters (cache hits and
-  misses, simulations, AST nodes visited, ...).
+  misses, simulations, AST nodes visited, ...).  Thread-safe.
 * :func:`timer` — a context manager accumulating wall time per stage.
+  Thread-safe and reentrant: when the same stage name nests (directly or
+  indirectly) in one thread, only the outermost block adds its elapsed
+  time, so accumulated time never exceeds wall time.
+* :func:`export` / :func:`delta` / :func:`merge` — process-merge support:
+  worker processes return counter/timer deltas that the coordinator folds
+  back in, so :func:`snapshot` covers multi-process runs
+  (``tune(workers=N)``).
 * :func:`caching_enabled` — ``False`` when the ``REPRO_NO_CACHE``
   environment variable is set (non-empty), which disables every cache layer
   for debugging; read dynamically so tests can flip it at run time.
@@ -17,10 +27,13 @@ make their effectiveness observable, plus the global cache kill-switch.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Iterator, MutableMapping
+from typing import Iterable, Iterator, Mapping, MutableMapping
+
+from repro.obs import trace as _trace
 
 __all__ = [
     "inc",
@@ -29,39 +42,69 @@ __all__ = [
     "timer",
     "snapshot",
     "reset",
+    "export",
+    "delta",
+    "merge",
     "caching_enabled",
     "register_cache",
     "clear_caches",
 ]
 
+_LOCK = threading.Lock()
 _COUNTERS: defaultdict[str, float] = defaultdict(float)
 _TIMERS: defaultdict[str, float] = defaultdict(float)
 _CACHES: dict[str, MutableMapping] = {}
+#: per-thread {stage name: nesting depth} for reentrant timers
+_ACTIVE = threading.local()
 
 
 def inc(name: str, n: float = 1) -> None:
-    """Increment the counter ``name`` by ``n``."""
-    _COUNTERS[name] += n
+    """Increment the counter ``name`` by ``n`` (thread-safe)."""
+    with _LOCK:
+        _COUNTERS[name] += n
 
 
 def counters() -> dict[str, float]:
     """Current counter values (a copy)."""
-    return dict(_COUNTERS)
+    with _LOCK:
+        return dict(_COUNTERS)
 
 
 def timers() -> dict[str, float]:
     """Accumulated wall seconds per timed stage (a copy)."""
-    return dict(_TIMERS)
+    with _LOCK:
+        return dict(_TIMERS)
 
 
 @contextmanager
 def timer(name: str) -> Iterator[None]:
-    """Accumulate the wall time of the ``with`` block under ``name``."""
+    """Accumulate the wall time of the ``with`` block under ``name``.
+
+    Reentrant per thread: nested blocks with the same name contribute
+    nothing of their own (the outermost block's elapsed time already
+    covers them), so a stage's accumulated time never exceeds its wall
+    time.  While a tracer is active the block is also recorded as a span
+    (category ``perf``), including reentered inner blocks.
+    """
+    depths = getattr(_ACTIVE, "depths", None)
+    if depths is None:
+        depths = _ACTIVE.depths = {}
+    outermost = not depths.get(name)
+    depths[name] = depths.get(name, 0) + 1
+    tracer = _trace.current()
     t0 = time.perf_counter()
     try:
-        yield
+        if tracer is not None:
+            with tracer.span(name, cat="perf"):
+                yield
+        else:
+            yield
     finally:
-        _TIMERS[name] += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        depths[name] -= 1
+        if outermost:
+            with _LOCK:
+                _TIMERS[name] += elapsed
 
 
 def snapshot() -> dict[str, dict[str, float]]:
@@ -75,8 +118,60 @@ def snapshot() -> dict[str, dict[str, float]]:
 
 def reset() -> None:
     """Zero all counters and timers (caches are left intact)."""
-    _COUNTERS.clear()
-    _TIMERS.clear()
+    with _LOCK:
+        _COUNTERS.clear()
+        _TIMERS.clear()
+
+
+# -- process-merge support ----------------------------------------------------
+
+
+def export() -> dict[str, dict[str, float]]:
+    """Counters and timers as one mergeable state (see :func:`delta`)."""
+    with _LOCK:
+        return {"counters": dict(_COUNTERS), "timers": dict(_TIMERS)}
+
+
+def delta(base: Mapping[str, Mapping[str, float]]) -> dict[str, dict[str, float]]:
+    """What changed since ``base`` (an earlier :func:`export`), zero-free.
+
+    Worker processes call this around a unit of work and ship the result
+    back; the coordinator folds it in with :func:`merge`.
+    """
+    now = export()
+    out: dict[str, dict[str, float]] = {}
+    for kind in ("counters", "timers"):
+        basek = base.get(kind, {})
+        d = {
+            name: value - basek.get(name, 0.0)
+            for name, value in now[kind].items()
+            if value != basek.get(name, 0.0)
+        }
+        if d:
+            out[kind] = d
+    return out
+
+
+def merge(
+    d: Mapping[str, Mapping[str, float]], exclude: Iterable[str] = ()
+) -> None:
+    """Fold a :func:`delta` into the global counters/timers.
+
+    ``exclude`` names counters/timers to skip — used by the tuner for the
+    canonically re-derived accounting (see ``docs/performance.md``,
+    "Reading merged multi-worker snapshots").
+    """
+    skip = set(exclude)
+    with _LOCK:
+        for name, value in d.get("counters", {}).items():
+            if name not in skip:
+                _COUNTERS[name] += value
+        for name, value in d.get("timers", {}).items():
+            if name not in skip:
+                _TIMERS[name] += value
+
+
+# -- cache registry -----------------------------------------------------------
 
 
 def caching_enabled() -> bool:

@@ -6,7 +6,9 @@ from repro.tuning.persist import (
     TuningFileError,
     branching_tree_hash,
     load_thresholds,
+    save_telemetry,
     save_thresholds,
+    telemetry_path,
 )
 from repro.tuning.search import AUCBandit, HillClimb, RandomSearch, make_technique
 from repro.tuning.tree import SignatureEngine, path_signature, thresholds_in
@@ -30,4 +32,6 @@ __all__ = [
     "branching_tree_hash",
     "load_thresholds",
     "save_thresholds",
+    "save_telemetry",
+    "telemetry_path",
 ]

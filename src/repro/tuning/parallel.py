@@ -9,6 +9,11 @@ serial run would have; the coordinator merges worker results back through
 its master signature→time caches *in proposal order*, which keeps
 ``simulations``/``cache_hits`` accounting and every reported time identical
 to a serial (``workers=1``) run with the same seed.
+
+Workers also capture the :mod:`repro.perf` counter/timer delta of each
+configuration they evaluate and ship it back with the result, so the
+coordinator's ``perf.snapshot()`` covers work done in worker processes
+(see ``docs/performance.md``, "Reading merged multi-worker snapshots").
 """
 
 from __future__ import annotations
@@ -19,6 +24,10 @@ from typing import Sequence
 from repro import perf
 
 __all__ = ["BatchExecutor"]
+
+#: per-configuration worker result: (per-dataset (signature, time) list,
+#: perf counter/timer delta accumulated while evaluating it)
+EvalOut = tuple[list[tuple], dict]
 
 #: worker-global evaluator, set once per process by the pool initializer
 _WORKER = None
@@ -35,17 +44,36 @@ def _init_worker(
     )
 
 
-def _eval_configs(cfgs: list[dict[str, int]]) -> list[list[tuple]]:
+def _eval_configs(cfgs: list[dict[str, int]]) -> list[EvalOut]:
     assert _WORKER is not None, "worker pool not initialised"
-    return [_WORKER._eval(cfg) for cfg in cfgs]
+    out: list[EvalOut] = []
+    for cfg in cfgs:
+        base = perf.export()
+        res = _WORKER._eval(cfg)
+        out.append((res, perf.delta(base)))
+    return out
 
 
 class BatchExecutor:
-    """A pool of evaluator processes for one tuning run."""
+    """A pool of evaluator processes for one tuning run.
+
+    Use as a context manager (or call :meth:`close`) so the worker
+    processes are torn down deterministically rather than at interpreter
+    exit.  ``workers`` must be at least 2 — the serial path in
+    :meth:`Autotuner.tune` already covers single-worker evaluation, and
+    silently spawning more processes than asked for would misreport the
+    run's parallelism.
+    """
 
     def __init__(self, tuner, workers: int):
-        self.workers = max(2, int(workers))
-        self._pool = ProcessPoolExecutor(
+        workers = int(workers)
+        if workers < 2:
+            raise ValueError(
+                f"BatchExecutor needs at least 2 workers, got {workers}; "
+                f"use tune(workers=1) for serial evaluation"
+            )
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
             initargs=(
@@ -57,11 +85,11 @@ class BatchExecutor:
             ),
         )
 
-    def evaluate(
-        self, cfgs: Sequence[dict[str, int]]
-    ) -> list[list[tuple]]:
-        """Per-dataset (signature, time) lists for each configuration,
-        in the order given (contiguous chunks, one future per worker)."""
+    def evaluate(self, cfgs: Sequence[dict[str, int]]) -> list[EvalOut]:
+        """Per-configuration (result, perf delta) pairs, in the order given
+        (contiguous chunks, one future per worker)."""
+        if self._pool is None:
+            raise RuntimeError("BatchExecutor is closed")
         if not cfgs:
             return []
         perf.inc("tuner.parallel_batches")
@@ -71,10 +99,25 @@ class BatchExecutor:
             self._pool.submit(_eval_configs, list(cfgs[i : i + chunk]))
             for i in range(0, n, chunk)
         ]
-        out: list[list[tuple]] = []
+        out: list[EvalOut] = []
         for fut in futures:
             out.extend(fut.result())
         return out
 
-    def shutdown(self) -> None:
-        self._pool.shutdown(wait=False, cancel_futures=True)
+    def close(self) -> None:
+        """Shut the pool down, waiting for worker processes to exit.
+
+        Idempotent; after closing, :meth:`evaluate` raises RuntimeError.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # backwards-compatible alias
+    shutdown = close
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

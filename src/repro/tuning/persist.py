@@ -18,6 +18,8 @@ from repro.flatten import render_tree
 __all__ = [
     "save_thresholds",
     "load_thresholds",
+    "save_telemetry",
+    "telemetry_path",
     "branching_tree_hash",
     "TuningFileError",
 ]
@@ -71,9 +73,18 @@ def save_thresholds(
 
 
 def load_thresholds(
-    path: str, compiled: CompiledProgram | None = None
+    path: str,
+    compiled: CompiledProgram | None = None,
+    device: str | None = None,
 ) -> dict[str, int]:
-    """Read a tuning file; verifies it matches ``compiled`` when given."""
+    """Read a tuning file; verifies it matches ``compiled`` when given.
+
+    ``device`` (a device name, e.g. ``"K40"``) additionally rejects a file
+    tuned for a different device — thresholds encode a device's
+    parallelism/local-memory trade-offs, so reusing them across devices
+    silently reproduces the wrong branching-tree paths.  Files written
+    without a device (``device=""``) are accepted on any device.
+    """
     with open(path) as fh:
         try:
             doc = json.load(fh)
@@ -82,6 +93,13 @@ def load_thresholds(
     if doc.get("format") != _FORMAT:
         raise TuningFileError(f"{path}: unsupported format {doc.get('format')}")
     thresholds = {str(k): int(v) for k, v in doc.get("thresholds", {}).items()}
+    if device:
+        stored_device = doc.get("device")
+        if stored_device and stored_device != device:
+            raise TuningFileError(
+                f"{path}: tuned for device {stored_device!r}, not {device!r} "
+                f"(stale tuning file?)"
+            )
     if compiled is not None:
         if doc.get("program") != compiled.prog.name:
             raise TuningFileError(
@@ -101,3 +119,28 @@ def load_thresholds(
                 f"(stale tuning file?)"
             )
     return thresholds
+
+
+def telemetry_path(tuning_path: str) -> str:
+    """Where :func:`save_telemetry` puts the telemetry for a tuning file."""
+    return tuning_path + ".telemetry.json"
+
+
+def save_telemetry(
+    path: str,
+    result,
+    compiled: CompiledProgram | None = None,
+    device: str = "",
+) -> None:
+    """Persist a :class:`~repro.tuning.tuner.TuningResult`'s convergence
+    telemetry (best-so-far curve, threshold trajectories, branching-tree
+    path counts) as JSON alongside the tuning file."""
+    doc = result.telemetry()
+    if compiled is not None:
+        doc["program"] = compiled.prog.name
+        doc["branching_tree"] = branching_tree_hash(compiled)
+    if device:
+        doc["device"] = device
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from repro import perf
+from repro.obs import trace as obs
 from repro.compiler import CompiledProgram
 from repro.gpu.device import DeviceSpec
 from repro.tuning.params import ParameterSpace
@@ -58,11 +59,43 @@ class TuningResult:
     #: every evaluation in order: (configuration, cost) — the true
     #: convergence curve, including non-improving proposals
     full_history: list[tuple[dict[str, int], float]] = field(default_factory=list)
+    #: per dataset: path signature -> number of evaluations that took it
+    path_counts: list[dict[Sig, int]] = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
         total = self.simulations + self.cache_hits
         return self.cache_hits / total if total else 0.0
+
+    def telemetry(self) -> dict:
+        """Convergence telemetry as one JSON-serialisable document.
+
+        Contains the best-so-far curve, the full cost curve, per-threshold
+        proposal trajectories, and branching-tree path counts per dataset
+        — persisted alongside tuning files (see
+        :func:`repro.tuning.persist.save_telemetry`).
+        """
+        names = sorted({n for cfg, _ in self.full_history for n in cfg})
+        return {
+            "kind": "tuning-telemetry",
+            "format": 1,
+            "proposals": self.proposals,
+            "simulations": self.simulations,
+            "cache_hits": self.cache_hits,
+            "dedup_ratio": self.dedup_ratio,
+            "best_cost": self.best_cost,
+            "best_thresholds": dict(self.best_thresholds),
+            "best_curve": [[p, c] for p, c in self.history],
+            "cost_curve": [c for _, c in self.full_history],
+            "threshold_trajectories": {
+                n: [cfg.get(n) for cfg, _ in self.full_history] for n in names
+            },
+            "path_counts": [
+                {repr(sig): n for sig, n in pc.items()}
+                for pc in self.path_counts
+            ],
+            "distinct_paths": [len(pc) for pc in self.path_counts],
+        }
 
 
 class Autotuner:
@@ -108,6 +141,8 @@ class Autotuner:
         self._sig_memo: list[dict[tuple, Sig]] = [{} for _ in self.datasets]
         # per-dataset: path signature -> simulated time
         self._cache: list[dict[Sig, float]] = [{} for _ in self.datasets]
+        # per-dataset: path signature -> evaluation count (telemetry)
+        self.path_counts: list[dict[Sig, int]] = [{} for _ in self.datasets]
         self.simulations = 0
         self.cache_hits = 0
 
@@ -148,6 +183,7 @@ class Autotuner:
         out: list[tuple[Sig, float]] = []
         for i in range(len(self.datasets)):
             sig = self._signature(i, thresholds)
+            self.path_counts[i][sig] = self.path_counts[i].get(sig, 0) + 1
             if not self.cache:
                 self.simulations += 1
                 out.append((sig, self._simulate(i, thresholds, sig)))
@@ -157,33 +193,70 @@ class Autotuner:
                 cached = self._simulate(i, thresholds, sig)
                 self._cache[i][sig] = cached
                 self.simulations += 1
+                perf.inc("tuner.path_cache.misses")
             else:
                 self.cache_hits += 1
+                perf.inc("tuner.path_cache.hits")
             out.append((sig, cached))
         return out
 
-    def _merge(self, worker_out: Sequence[tuple[Sig, float]]) -> list[float]:
+    #: perf counters the coordinator re-derives canonically while merging
+    #: worker results: their worker-local values depend on how proposals
+    #: were chunked over processes, so raw sums would diverge from a
+    #: serial run (see docs/performance.md).
+    _CANONICAL_COUNTERS = (
+        "tuner.simulations",
+        "tuner.path_cache.hits",
+        "tuner.path_cache.misses",
+        "signature.cache_hits",
+        "signature.cache_misses",
+    )
+
+    def _merge(
+        self,
+        cfg: Mapping[str, int],
+        worker_out: Sequence[tuple[Sig, float]],
+        perf_delta: Mapping[str, Mapping[str, float]] | None = None,
+    ) -> list[float]:
         """Fold one worker-evaluated configuration into the master caches.
 
         Times are deterministic functions of the path signature, so a
         worker's value equals what a serial run would have computed; the
         master cache decides — in proposal order — whether the evaluation
         counts as a simulation or a cache hit, keeping counters identical
-        to a serial run.
+        to a serial run.  The worker's perf counter/timer delta for this
+        configuration is folded into the global :mod:`repro.perf` state,
+        except for :data:`_CANONICAL_COUNTERS`, which are replayed here
+        against the master caches instead.
         """
+        if perf_delta:
+            perf.merge(perf_delta, exclude=self._CANONICAL_COUNTERS)
         times: list[float] = []
         for i, (sig, t) in enumerate(worker_out):
+            self.path_counts[i][sig] = self.path_counts[i].get(sig, 0) + 1
             if not self.cache:
                 self.simulations += 1
+                perf.inc("tuner.simulations")
                 times.append(t)
                 continue
+            # canonical signature-memo accounting, replayed master-side
+            key = self._engines[i].config_key(cfg)
+            memo = self._sig_memo[i]
+            if key in memo:
+                perf.inc("signature.cache_hits")
+            else:
+                memo[key] = sig
+                perf.inc("signature.cache_misses")
             cached = self._cache[i].get(sig)
             if cached is None:
                 self._cache[i][sig] = t
                 self.simulations += 1
+                perf.inc("tuner.simulations")
+                perf.inc("tuner.path_cache.misses")
                 cached = t
             else:
                 self.cache_hits += 1
+                perf.inc("tuner.path_cache.hits")
             times.append(cached)
         return times
 
@@ -239,7 +312,12 @@ class Autotuner:
 
         proposals = 0
         try:
-            with perf.timer("tune"):
+            with perf.timer("tune"), obs.span(
+                "tune", cat="tuner",
+                program=self.compiled.prog.name, technique=technique,
+                max_proposals=max_proposals, workers=workers,
+                batch_size=batch_size, datasets=len(self.datasets),
+            ) as tsp:
                 while proposals < max_proposals:
                     if deadline is not None and _time.monotonic() >= deadline:
                         break
@@ -252,28 +330,42 @@ class Autotuner:
                             batch.append(candidates.pop())
                         else:
                             batch.append(tech.propose(self.space, self.rng, best_cfg))
-                    if executor is not None:
-                        all_times = [
-                            self._merge(out) for out in executor.evaluate(batch)
-                        ]
-                    else:
-                        all_times = [
-                            [t for _, t in self._eval(cfg)] for cfg in batch
-                        ]
+                    with obs.span("tuner.eval_batch", cat="tuner",
+                                  size=len(batch)):
+                        if executor is not None:
+                            all_times = [
+                                self._merge(cfg, out, d)
+                                for cfg, (out, d) in zip(
+                                    batch, executor.evaluate(batch)
+                                )
+                            ]
+                        else:
+                            all_times = [
+                                [t for _, t in self._eval(cfg)] for cfg in batch
+                            ]
                     for cfg, times in zip(batch, all_times):
-                        cost = self.cost_fn(times)
-                        proposals += 1
-                        full_history.append((dict(cfg), cost))
-                        improved = cost < best_cost
-                        tech.feedback(improved)
-                        if improved:
-                            best_cfg, best_cost = dict(cfg), cost
-                            history.append((proposals, cost))
+                        with obs.span("tuner.proposal", cat="tuner") as psp:
+                            cost = self.cost_fn(times)
+                            proposals += 1
+                            full_history.append((dict(cfg), cost))
+                            improved = cost < best_cost
+                            tech.feedback(improved)
+                            if improved:
+                                best_cfg, best_cost = dict(cfg), cost
+                                history.append((proposals, cost))
+                            psp["proposal"] = proposals
+                            psp["cost"] = cost
+                            psp["improved"] = improved
+                            psp["best_cost"] = best_cost
+                            psp["thresholds"] = dict(cfg)
                     if deadline is not None and _time.monotonic() >= deadline:
                         break
+                tsp["proposals"] = proposals
+                tsp["simulations"] = self.simulations
+                tsp["cache_hits"] = self.cache_hits
         finally:
             if executor is not None:
-                executor.shutdown()
+                executor.close()
 
         if best_cfg is None:
             # every round timed out before a measurement: fall back to the
@@ -291,4 +383,5 @@ class Autotuner:
             cache_hits=self.cache_hits,
             history=history,
             full_history=full_history,
+            path_counts=self.path_counts,
         )

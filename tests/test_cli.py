@@ -120,6 +120,76 @@ class TestTune:
         with pytest.raises(SystemExit):
             main(["tune", "matmul"])
 
+    def test_output_writes_tuning_and_telemetry(self, capsys, tmp_path):
+        out_file = tmp_path / "m.tuning"
+        code, out = run(
+            capsys, "tune", "matmul", "--dataset", "n=32,m=1024",
+            "--proposals", "10", "--output", str(out_file),
+        )
+        assert code == 0
+        assert out_file.exists()
+        telemetry = tmp_path / "m.tuning.telemetry.json"
+        assert telemetry.exists()
+        doc = json.loads(telemetry.read_text())
+        assert doc["kind"] == "tuning-telemetry"
+        assert doc["proposals"] == 10
+        assert len(doc["cost_curve"]) == 10
+
+
+class TestProfile:
+    def test_profile_writes_valid_chrome_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, out = run(
+            capsys, "profile", "matmul", "--trace", str(trace),
+            "--proposals", "12",
+        )
+        assert code == 0
+        assert "trace summary" in out and "perf counters" in out
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert isinstance(events, list) and events
+        names = {e["name"] for e in events}
+        # spans for every compiler pass, ≥1 proposal, ≥1 kernel launch
+        assert {"pass.normalize", "pass.fuse", "pass.simplify",
+                "pass.flatten", "pass.codegen"} <= names
+        assert "tuner.proposal" in names
+        assert "kernel.launch" in names
+        for ev in events:
+            assert "ph" in ev and "ts" in ev or ev["ph"] == "M"
+
+    def test_profile_without_trace_flag(self, capsys):
+        code, out = run(capsys, "profile", "matmul", "--proposals", "6")
+        assert code == 0
+        assert "trace summary" in out
+
+    def test_profile_table1_benchmark_default_datasets(self, capsys):
+        code, out = run(capsys, "profile", "nw", "--proposals", "4")
+        assert code == 0
+        assert "tune[K40]" in out
+
+    def test_profile_tracer_deactivated_afterwards(self, capsys):
+        from repro import obs
+
+        run(capsys, "profile", "matmul", "--proposals", "4")
+        assert obs.current() is None
+
+    def test_trace_flag_on_show(self, capsys, tmp_path):
+        trace = tmp_path / "show.json"
+        code, out = run(capsys, "show", "matmul", "--trace", str(trace))
+        assert code == 0
+        names = {e["name"] for e in json.loads(trace.read_text())["traceEvents"]}
+        assert "pass.flatten" in names
+
+    def test_trace_flag_on_tune(self, capsys, tmp_path):
+        trace = tmp_path / "tune.json"
+        code, _ = run(
+            capsys, "tune", "matmul", "--dataset", "n=32,m=1024",
+            "--proposals", "8", "--trace", str(trace),
+        )
+        assert code == 0
+        names = {e["name"] for e in json.loads(trace.read_text())["traceEvents"]}
+        assert "tuner.proposal" in names
+
 
 class TestFigures:
     def test_fig2_subset(self, capsys):

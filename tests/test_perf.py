@@ -1,5 +1,8 @@
 """The perf instrumentation module: counters, timers, cache registry."""
 
+import threading
+import time
+
 from repro import perf
 
 
@@ -21,6 +24,105 @@ def test_timer_accumulates():
     with perf.timer("stage"):
         pass
     assert perf.timers()["stage"] >= 0.0
+
+
+def test_timer_same_name_nesting_does_not_double_count():
+    """Regression: nested same-name timers used to add both the outer and
+    the inner elapsed time, so accumulated time exceeded wall time."""
+    perf.reset()
+    t0 = time.perf_counter()
+    with perf.timer("stage"):
+        with perf.timer("stage"):
+            time.sleep(0.02)
+        with perf.timer("stage"):  # sequential re-entry, still nested
+            time.sleep(0.02)
+    wall = time.perf_counter() - t0
+    assert perf.timers()["stage"] <= wall
+
+
+def test_timer_reentrancy_is_per_name():
+    """Different names nested inside each other both accumulate."""
+    perf.reset()
+    with perf.timer("outer"):
+        with perf.timer("inner"):
+            time.sleep(0.01)
+    t = perf.timers()
+    assert t["inner"] > 0.0
+    assert t["outer"] >= t["inner"]
+
+
+def test_timer_reentrancy_resets_after_exit():
+    """A timer re-entered *sequentially* (not nested) accumulates both."""
+    perf.reset()
+    with perf.timer("stage"):
+        time.sleep(0.01)
+    with perf.timer("stage"):
+        time.sleep(0.01)
+    assert perf.timers()["stage"] >= 0.02
+
+
+def test_inc_is_thread_safe():
+    perf.reset()
+
+    def work():
+        for _ in range(2000):
+            perf.inc("n")
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert perf.counters()["n"] == 16000
+
+
+def test_timers_are_per_thread_reentrant():
+    """Two threads timing the same stage both accumulate (no cross-thread
+    suppression)."""
+    perf.reset()
+
+    def work():
+        with perf.timer("stage"):
+            time.sleep(0.01)
+
+    threads = [threading.Thread(target=work) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert perf.timers()["stage"] >= 0.02
+
+
+def test_export_delta_merge_roundtrip():
+    perf.reset()
+    perf.inc("a", 2)
+    base = perf.export()
+    perf.inc("a", 3)
+    perf.inc("b")
+    with perf.timer("t"):
+        pass
+    d = perf.delta(base)
+    assert d["counters"] == {"a": 3, "b": 1}
+    assert d["timers"]["t"] >= 0.0
+    perf.reset()
+    perf.inc("a", 10)
+    perf.merge(d)
+    assert perf.counters()["a"] == 13
+    assert perf.counters()["b"] == 1
+    assert "t" in perf.timers()
+
+
+def test_delta_is_zero_free():
+    perf.reset()
+    perf.inc("a")
+    base = perf.export()
+    assert perf.delta(base) == {}
+
+
+def test_merge_exclude():
+    perf.reset()
+    perf.merge({"counters": {"keep": 1, "drop": 1}}, exclude=("drop",))
+    assert perf.counters() == {"keep": 1}
 
 
 def test_timer_records_on_exception():

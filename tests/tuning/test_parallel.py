@@ -4,10 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import perf
 from repro.bench.programs.matmul import matmul_program, matmul_sizes
 from repro.compiler import compile_program
 from repro.gpu import K40
 from repro.tuning import Autotuner
+from repro.tuning.parallel import BatchExecutor
 
 
 @pytest.fixture(scope="module")
@@ -39,6 +41,79 @@ def test_parallel_equals_serial(matmul_if, train):
     serial = _tune(matmul_if, train, seed=0, batch_size=4)
     parallel = _tune(matmul_if, train, seed=0, workers=3, batch_size=4)
     _assert_same(serial, parallel)
+    assert serial.path_counts == parallel.path_counts
+
+
+class TestWorkersValidation:
+    """BatchExecutor used to silently coerce workers with max(2, N)."""
+
+    @pytest.mark.parametrize("workers", [1, 0, -3])
+    def test_rejects_fewer_than_two_workers(self, matmul_if, train, workers):
+        tuner = Autotuner(matmul_if, train, K40, seed=0)
+        with pytest.raises(ValueError, match="at least 2 workers"):
+            BatchExecutor(tuner, workers)
+
+    def test_close_is_deterministic_and_idempotent(self, matmul_if, train):
+        tuner = Autotuner(matmul_if, train, K40, seed=0)
+        ex = BatchExecutor(tuner, 2)
+        ex.close()
+        ex.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.evaluate([tuner.space.default_config()])
+
+    def test_context_manager(self, matmul_if, train):
+        tuner = Autotuner(matmul_if, train, K40, seed=0)
+        with BatchExecutor(tuner, 2) as ex:
+            out = ex.evaluate([tuner.space.default_config()])
+            assert len(out) == 1
+        assert ex._pool is None
+
+
+class TestWorkerPerfMerge:
+    """Counters incremented in worker processes must reach the coordinator
+    (they were lost entirely before), and the tuner-layer accounting must
+    be bit-identical to a serial run."""
+
+    CANONICAL = (
+        "tuner.simulations",
+        "tuner.path_cache.hits",
+        "tuner.path_cache.misses",
+        "signature.cache_hits",
+        "signature.cache_misses",
+    )
+
+    def _snapshot_tune(self, workers, n=36):
+        perf.reset()
+        perf.clear_caches()
+        cp = compile_program(matmul_program(), "incremental")
+        datasets = [matmul_sizes(e, 20) for e in range(0, 11, 2)]
+        tuner = Autotuner(cp, datasets, K40, seed=0)
+        res = tuner.tune(max_proposals=n, workers=workers, batch_size=6)
+        return res, perf.snapshot()["counters"]
+
+    def test_canonical_counters_equal_serial(self):
+        serial_res, serial = self._snapshot_tune(1)
+        parallel_res, parallel = self._snapshot_tune(4)
+        assert serial_res.full_history == parallel_res.full_history
+        for name in self.CANONICAL:
+            assert serial.get(name, 0) == parallel.get(name, 0), name
+
+    def test_worker_gpu_layer_counters_reach_coordinator(self):
+        _, serial = self._snapshot_tune(1)
+        _, parallel = self._snapshot_tune(2)
+        # per-process layers report at least the serial work (each worker
+        # re-misses kernels its siblings priced; see docs/performance.md)
+        assert parallel.get("kernel_cache.misses", 0) >= serial["kernel_cache.misses"]
+        assert parallel.get("sim_memo.misses", 0) >= serial["sim_memo.misses"]
+        assert parallel.get("tuner.parallel_batches", 0) > 0
+
+    def test_worker_timers_reach_coordinator(self):
+        perf.reset()
+        perf.clear_caches()
+        cp = compile_program(matmul_program(), "incremental")
+        tuner = Autotuner(cp, [matmul_sizes(4, 20)], K40, seed=0)
+        tuner.tune(max_proposals=12, workers=2, batch_size=6)
+        assert perf.timers().get("simulate", 0.0) > 0.0
 
 
 def test_parallel_equals_serial_with_noise(matmul_if, train):

@@ -34,6 +34,7 @@ _LAZY = {
     "check_all": "repro.check.differential",
     "enumerate_forced_paths": "repro.check.differential",
     "CHECK_DATASETS": "repro.check.differential",
+    "ENGINES": "repro.check.differential",
     "build_program": "repro.check.genprog",
     "random_recipe": "repro.check.genprog",
     "recipes": "repro.check.genprog",

@@ -36,6 +36,7 @@ __all__ = [
     "FORCE_TRUE",
     "FORCE_FALSE",
     "MODES",
+    "ENGINES",
     "CHECK_DATASETS",
     "PathOutcome",
     "ModeResult",
@@ -50,6 +51,9 @@ __all__ = [
 ]
 
 MODES = ("moderate", "incremental", "full")
+
+#: execution engines the differential check exercises per forced path
+ENGINES = ("scalar", "vector")
 
 #: ``Par ≥ 0`` always holds; ``Par ≥ 2^62`` never does (sizes are moderate).
 FORCE_TRUE = 0
@@ -296,15 +300,22 @@ def differential_check(
     seed: int = 0,
     max_paths: int = 4096,
     num_levels: int = 2,
+    engines: Sequence[str] = ENGINES,
 ) -> ProgramReport:
     """Differentially test ``prog`` against its own flattened versions.
 
     For every dataset and every flattening mode, every forced threshold
-    path of the compiled body is executed with the reference interpreter
-    and compared bit-for-bit against the source program's results.
+    path of the compiled body is executed with every requested engine and
+    compared bit-for-bit against the source program's results (run under
+    the scalar oracle).  ``engines`` defaults to both the scalar
+    tree-walker and the vectorizing executor, so every path is the proof
+    obligation for both the flattening rules *and* the vectorizer.
     Compile-time validator failures are reported per mode rather than
     raised, so one broken mode does not hide another's results.
     """
+    for engine in engines:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (expected {ENGINES})")
     report = ProgramReport(program=prog.name)
     compiled: dict[str, object] = {}
     for ds_index, sizes in enumerate(datasets):
@@ -316,6 +327,38 @@ def differential_check(
         except Exception as ex:  # noqa: BLE001 - reported, not raised
             ds.error = f"{type(ex).__name__}: {ex}"
             continue
+        runners: dict[str, Callable] = {
+            "scalar": lambda body, th: run_program(
+                prog, inputs, body=body, thresholds=th, sizes=sizes
+            )
+        }
+        if "vector" in engines:
+            from repro.exec import VectorEvaluator
+            from repro.interp.evaluator import program_env
+
+            env, all_sizes = program_env(prog, inputs, sizes)
+            vev = VectorEvaluator(sizes=all_sizes, thresholds={})
+
+            def vector_run(body, th, _vev=vev, _env=env):
+                # one evaluator per dataset: kernels compile once, launch
+                # once per forced path (thresholds swap between launches)
+                _vev.thresholds.clear()
+                if th:
+                    _vev.thresholds.update(th)
+                return _vev.eval(body, _env)
+
+            runners["vector"] = vector_run
+            # gate: the vector engine must agree on the source program too
+            try:
+                vref = vector_run(prog.body, None)
+            except Exception as ex:  # noqa: BLE001
+                ds.error = f"[vector] source program: {type(ex).__name__}: {ex}"
+                continue
+            if len(vref) != len(ref) or not all(
+                bit_equal(r, v) for r, v in zip(ref, vref)
+            ):
+                ds.error = "[vector] source program diverges from scalar oracle"
+                continue
         for mode in modes:
             mr = ModeResult(mode=mode)
             ds.modes.append(mr)
@@ -334,26 +377,31 @@ def differential_check(
             mr.num_paths = len(paths)
             mr.truncated = truncated
             for th in paths:
-                try:
-                    got = run_program(
-                        prog, inputs, body=cp.body, thresholds=th, sizes=sizes
-                    )
-                except Exception as ex:  # noqa: BLE001
-                    mr.failures.append(
-                        PathOutcome(th, f"interpreter error: {type(ex).__name__}: {ex}")
-                    )
-                    continue
-                if len(got) != len(ref):
-                    mr.failures.append(
-                        PathOutcome(th, f"arity {len(got)} vs {len(ref)}")
-                    )
-                    continue
-                for i, (r, g) in enumerate(zip(ref, got)):
-                    if not bit_equal(r, g):
+                for engine in engines:
+                    try:
+                        got = runners[engine](cp.body, th)
+                    except Exception as ex:  # noqa: BLE001
                         mr.failures.append(
-                            PathOutcome(th, _describe_mismatch(r, g, i))
+                            PathOutcome(
+                                th,
+                                f"[{engine}] interpreter error: "
+                                f"{type(ex).__name__}: {ex}",
+                            )
                         )
-                        break
+                        continue
+                    if len(got) != len(ref):
+                        mr.failures.append(
+                            PathOutcome(th, f"[{engine}] arity {len(got)} vs {len(ref)}")
+                        )
+                        continue
+                    for i, (r, g) in enumerate(zip(ref, got)):
+                        if not bit_equal(r, g):
+                            mr.failures.append(
+                                PathOutcome(
+                                    th, f"[{engine}] {_describe_mismatch(r, g, i)}"
+                                )
+                            )
+                            break
     return report
 
 
@@ -363,6 +411,7 @@ def check_all(
     modes: Sequence[str] = MODES,
     seed: int = 0,
     max_paths: int = 4096,
+    engines: Sequence[str] = ENGINES,
 ) -> list[ProgramReport]:
     """Run the differential check over (a subset of) the built-in benchmarks."""
     progs = builtin_programs()
@@ -378,7 +427,12 @@ def check_all(
             raise KeyError(f"no check datasets registered for {key!r}")
         reports.append(
             differential_check(
-                prog, datasets, modes=modes, seed=seed, max_paths=max_paths
+                prog,
+                datasets,
+                modes=modes,
+                seed=seed,
+                max_paths=max_paths,
+                engines=engines,
             )
         )
     return reports

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
-from repro.check.differential import MODES, ProgramReport, differential_check
+from repro.check.differential import ENGINES, MODES, ProgramReport, differential_check
 from repro.check.genprog import (
     build_program,
     random_recipe,
@@ -55,6 +55,7 @@ class FuzzReport:
     examples: int
     seed: int
     modes: tuple[str, ...]
+    engines: tuple[str, ...] = ENGINES
     failures: list[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -68,6 +69,7 @@ class FuzzReport:
             "examples": self.examples,
             "seed": self.seed,
             "modes": list(self.modes),
+            "engines": list(self.engines),
             "failures": [f.to_json() for f in self.failures],
         }
 
@@ -78,12 +80,16 @@ def check_recipe(
     modes: Sequence[str] = MODES,
     max_paths: int = 1024,
     name: str = "gen",
+    engines: Sequence[str] = ENGINES,
 ) -> ProgramReport:
     """Differential-check one recipe on its own and a derived dataset.
 
-    Float overflow to ``inf`` is expected for generated programs (chained
-    ``*`` folds) and harmless — both sides fold identically — so numpy
-    warnings are silenced for the duration of the check.
+    Every forced path runs under every engine in ``engines`` (default:
+    scalar oracle *and* vectorizing executor), so fuzzing hunts flattening
+    bugs and vectorization bugs with the same examples.  Float overflow to
+    ``inf`` is expected for generated programs (chained ``*`` folds) and
+    harmless — both sides fold identically — so numpy warnings are
+    silenced for the duration of the check.
     """
     import numpy as np
 
@@ -91,7 +97,11 @@ def check_recipe(
     prog = build_program(recipe, name=name)
     with np.errstate(all="ignore"):
         return differential_check(
-            prog, recipe_datasets(recipe), modes=tuple(modes), max_paths=max_paths
+            prog,
+            recipe_datasets(recipe),
+            modes=tuple(modes),
+            max_paths=max_paths,
+            engines=tuple(engines),
         )
 
 
@@ -114,20 +124,31 @@ def run_fuzz(
     modes: Sequence[str] = MODES,
     max_depth: int = 3,
     max_paths: int = 1024,
+    engines: Sequence[str] = ENGINES,
+    corpus_dir: str | Path | None = None,
     on_example=None,
 ) -> FuzzReport:
     """Fuzz the pipeline with ``max_examples`` generated programs.
 
     Every failing example is shrunk with :func:`shrink_recipe` before being
-    recorded, so the report's corpus entries are already minimal.
-    ``on_example`` (if given) is called as ``on_example(i, ok)`` after each
-    example, for progress display.
+    recorded, so the report's corpus entries are already minimal.  The
+    shrink predicate replays *all* requested ``engines``, so a shrunk
+    recipe keeps failing on whichever engine diverged — vectorization
+    bugs shrink just like flattening bugs.  With ``corpus_dir`` set, each
+    shrunk counterexample is also written there as a ``tests/corpus/``-
+    format JSON document (``fuzz_<seed>_<index>.json``), ready to become a
+    regression test.  ``on_example`` (if given) is called as
+    ``on_example(i, ok)`` after each example, for progress display.
     """
     rng = random.Random(seed)
-    report = FuzzReport(examples=max_examples, seed=seed, modes=tuple(modes))
+    report = FuzzReport(
+        examples=max_examples, seed=seed, modes=tuple(modes), engines=tuple(engines)
+    )
 
     def fails(recipe: dict) -> bool:
-        return not check_recipe(recipe, modes=modes, max_paths=max_paths).ok
+        return not check_recipe(
+            recipe, modes=modes, max_paths=max_paths, engines=engines
+        ).ok
 
     for i in range(max_examples):
         recipe = random_recipe(rng, max_depth=max_depth)
@@ -147,13 +168,20 @@ def run_fuzz(
             shrunk = shrink_recipe(recipe, still_fails)
             if error is None:
                 try:
-                    error = _failure_message(check_recipe(shrunk, modes=modes,
-                                                          max_paths=max_paths))
+                    error = _failure_message(
+                        check_recipe(
+                            shrunk, modes=modes, max_paths=max_paths, engines=engines
+                        )
+                    )
                 except Exception as ex:
                     error = f"{type(ex).__name__}: {ex}"
-            report.failures.append(
-                FuzzFailure(index=i, recipe=recipe, shrunk=shrunk, error=error)
-            )
+            failure = FuzzFailure(index=i, recipe=recipe, shrunk=shrunk, error=error)
+            report.failures.append(failure)
+            if corpus_dir is not None:
+                directory = Path(corpus_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                path = directory / f"fuzz_{seed}_{i}.json"
+                path.write_text(json.dumps(failure.corpus_entry(), indent=2) + "\n")
         if on_example is not None:
             on_example(i, ok)
     return report

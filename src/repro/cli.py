@@ -7,19 +7,25 @@ Commands
 * ``show PROG [--mode MODE] [--tree]`` — compile and print the target code
   (and optionally the branching tree) for a built-in benchmark or a
   ``.fut``-style source file.
-* ``run PROG --size n=4 --size m=3 [--seed S] [--threshold t0=V]`` — run a
-  program on random inputs with the reference interpreter.
-* ``simulate PROG --size ... [--device K40|Vega64] [--threshold t0=V]`` —
-  estimate the run time with the GPU cost model.
+* ``run PROG --size n=4 --size m=3 [--seed S] [--threshold t0=V]
+  [--exec scalar|vector]`` — run a program on random inputs with the
+  reference interpreter or the vectorizing executor (``docs/execution.md``).
+* ``simulate PROG --size ... [--device K40|Vega64] [--threshold t0=V]
+  [--exec scalar|vector]`` — estimate the run time with the GPU cost
+  model; with ``--exec`` also execute the program with that engine and
+  report the measured wall time alongside the modeled time.
 * ``tune PROG --dataset n=...,m=... [--dataset ...] [--device D]
   [--technique bandit|random|hillclimb|exhaustive]`` — autotune thresholds.
 * ``figures [NAMES...]`` — regenerate the paper's tables (fig2, fig7, fig8,
   ablation, code, autotuner-free).
-* ``check [PROGS...] [--fuzz] [--max-examples N] [--report out.json]`` —
-  differential correctness harness: validate the IR after every pass and
-  assert every forced code-version path computes bit-identical results to
-  the source interpreter; ``--fuzz`` additionally checks N generated
-  programs.  Exits nonzero on any failure.
+* ``check [PROGS...] [--fuzz] [--max-examples N] [--report out.json]
+  [--exec scalar|vector|both]`` — differential correctness harness:
+  validate the IR after every pass and assert every forced code-version
+  path computes bit-identical results to the source interpreter, under
+  the selected executor(s) (default: both); ``--fuzz`` additionally
+  checks N generated programs (``--corpus-out DIR`` writes shrunk
+  counterexamples as ``tests/corpus/``-format files).  Exits nonzero on
+  any failure.
 * ``profile PROG [--trace out.json] [--proposals N]`` — run the whole
   pipeline (parse → passes → flatten → codegen → tune → simulate) under
   the span tracer and print an aggregated summary; ``--trace`` writes a
@@ -152,7 +158,7 @@ def cmd_run(args) -> int:
     cp = compile_program(prog, args.mode)
     inputs = _random_inputs(prog, sizes, args.seed)
     th = _parse_kv(args.threshold)
-    outs = cp.run(inputs, thresholds=th or None)
+    outs = cp.run(inputs, thresholds=th or None, engine=args.exec)
     for i, out in enumerate(outs):
         if hasattr(out, "shape"):
             print(f"result[{i}]: shape={out.shape} dtype={out.dtype}")
@@ -181,6 +187,14 @@ def cmd_simulate(args) -> int:
         f"({rep.num_kernels} kernels, {rep.total_gbytes/1e6:.2f} MB global "
         f"traffic, peak local {rep.peak_local_mem} B)"
     )
+    if args.exec:
+        import time as _time
+
+        inputs = _random_inputs(prog, sizes, 0)
+        t0 = _time.perf_counter()
+        cp.run(inputs, thresholds=th or None, engine=args.exec)
+        wall = _time.perf_counter() - t0
+        print(f"executed with engine={args.exec}: {wall*1e3:.2f} ms wall")
     if args.kernels:
         for k in rep.kernels:
             print(
@@ -326,6 +340,14 @@ def cmd_profile(args) -> int:
         f"simulate[{device.name}] at best thresholds: {rep.time*1e3:.4f} ms "
         f"({rep.num_kernels} kernels)"
     )
+    if args.exec:
+        import time as _time
+
+        inputs = _random_inputs(prog, datasets[0], args.seed)
+        t0 = _time.perf_counter()
+        cp.run(inputs, thresholds=res.best_thresholds, engine=args.exec)
+        wall = _time.perf_counter() - t0
+        print(f"execute[{args.exec}] on {datasets[0]}: {wall*1e3:.2f} ms wall")
     tracer = obs.current()
     if tracer is not None:
         tracer.metadata.update(
@@ -354,9 +376,10 @@ def cmd_check(args) -> int:
     try:
         names = args.programs or None
         modes = tuple(args.mode) if args.mode else ("moderate", "incremental", "full")
+        engines = ("scalar", "vector") if args.exec == "both" else (args.exec,)
         try:
             reports = check_all(names, modes=modes, seed=args.seed,
-                                max_paths=args.max_paths)
+                                max_paths=args.max_paths, engines=engines)
         except KeyError as ex:
             raise SystemExit(ex.args[0]) from None
         ok = True
@@ -384,7 +407,8 @@ def cmd_check(args) -> int:
             print(f"fuzzing {args.max_examples} generated programs "
                   f"(seed {args.seed}) ...")
             frep = run_fuzz(args.max_examples, args.seed, modes=modes,
-                            max_paths=args.max_paths)
+                            max_paths=args.max_paths, engines=engines,
+                            corpus_dir=args.corpus_out)
             doc["fuzz"] = frep.to_json()
             if frep.ok:
                 print(f"  fuzz: {frep.examples} examples, no counterexample")
@@ -429,6 +453,8 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--size", action="append", help="size binding n=4")
     rp.add_argument("--threshold", action="append", help="threshold t0=128")
     rp.add_argument("--seed", type=int, default=0)
+    rp.add_argument("--exec", default=None, choices=("scalar", "vector"),
+                    help="executor (default: REPRO_EXEC or scalar)")
 
     mp = sub.add_parser("simulate", help="estimate run time on a device model")
     mp.add_argument("program")
@@ -439,6 +465,8 @@ def build_parser() -> argparse.ArgumentParser:
     mp.add_argument("--device", default="K40", choices=("K40", "Vega64"))
     mp.add_argument("--kernels", action="store_true", help="per-kernel stats")
     mp.add_argument("--tuning", help="read thresholds from a .tuning file")
+    mp.add_argument("--exec", default=None, choices=("scalar", "vector"),
+                    help="also execute with this engine and report wall time")
     mp.add_argument("--trace", help="write a Chrome-trace JSON file")
 
     tp = sub.add_parser("tune", help="autotune thresholds")
@@ -473,6 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("moderate", "incremental", "full"),
                     help="restrict to a flattening mode (repeatable)")
     cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--exec", default="both",
+                    choices=("scalar", "vector", "both"),
+                    help="executor(s) for forced paths (default: both)")
+    cp.add_argument("--corpus-out", default=None, metavar="DIR",
+                    help="write shrunk fuzz counterexamples to DIR "
+                    "(tests/corpus/ format)")
     cp.add_argument("--report", help="write a JSON report to this file")
     cp.add_argument("--trace", help="write a Chrome-trace JSON file")
 
@@ -489,6 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--proposals", type=int, default=48,
                     help="tuner proposals for the traced tuning run")
     pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument("--exec", default=None, choices=("scalar", "vector"),
+                    help="also execute the program with this engine under "
+                    "the tracer (adds exec.* spans and counters)")
     pp.add_argument("--trace", help="write a Chrome-trace JSON file")
     return p
 

@@ -54,9 +54,17 @@ class CompiledProgram:
         self,
         inputs: Mapping[str, object],
         thresholds: Mapping[str, int] | None = None,
+        engine: str | None = None,
     ):
-        """Execute with the reference interpreter (value semantics)."""
-        return run_program(self.prog, inputs, body=self.body, thresholds=thresholds)
+        """Execute with value semantics.
+
+        ``engine`` selects the executor: ``"scalar"`` (tree-walking
+        oracle), ``"vector"`` (batched NumPy kernels, bit-identical), or
+        ``None`` to follow ``REPRO_EXEC``.
+        """
+        return run_program(
+            self.prog, inputs, body=self.body, thresholds=thresholds, engine=engine
+        )
 
     def simulate(
         self,

@@ -1,0 +1,12 @@
+"""Execution engines beyond the tree-walking oracle.
+
+:class:`VectorEvaluator` compiles source/target IR to batched NumPy
+closures (bit-identical to the scalar interpreter; see
+``docs/execution.md``).  Select it per call via
+``run_program(..., engine="vector")``, per process via ``REPRO_EXEC=vector``,
+or on the CLI via ``--exec vector``.
+"""
+
+from repro.exec.vector import VectorEvaluator
+
+__all__ = ["VectorEvaluator"]

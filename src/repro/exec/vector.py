@@ -1,0 +1,962 @@
+"""Vectorizing executor: compiles IR to closures over whole NumPy arrays.
+
+The scalar interpreter (:mod:`repro.interp.evaluator`) applies lambdas one
+element at a time in Python; this module compiles the same source/target IR
+to Python closures that operate on the *whole* batch axis at once, in the
+style of Blelloch-style flattening:
+
+* a ``map`` folds its iteration space into one flat batch axis — binops,
+  unops and casts become single broadcast array operations;
+* ``reduce``/``scan`` (and the innermost axis of ``segred``/``segscan``)
+  keep their left-to-right fold order, but every fold step is a whole-array
+  operation across all enclosing segments simultaneously;
+* ``segmap`` nests enter one batch level per context binding and the body
+  is compiled once per kernel, reused across launches;
+* anything not vectorizable (data-dependent ``if`` with non-total branches,
+  intrinsics over batched arguments, ``iota``/``replicate``/``loop`` with
+  batched extents) falls back to the scalar oracle *per lane*, counted in
+  ``exec.scalar_fallbacks``.
+
+Results are bit-identical to the tree-walking oracle: both engines share
+the scalar op tables' cast machinery, uniform (non-batched) computation
+reuses the oracle's ``_BINOPS``/``_UNOPS`` directly, and the vector op
+table mirrors oracle quirks exactly (``min``/``max`` via ``np.where`` to
+match Python's ``min``/``max`` NaN behaviour, eager ``&&``/``||``,
+floor-vs-true division chosen by float-ness).  ``docs/execution.md`` has
+the full rule table; ``repro check`` is the proof obligation.
+
+Static batchedness: each expression is compiled under a set ``bv`` of
+environment names that are batched (carry a leading batch axis).  Every
+compiled node reports, per returned value, whether it is batched — a plain
+Python boolean decided at compile time, so the closures contain no dynamic
+representation dispatch.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import Counter
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro import perf
+from repro.interp import intrinsics
+from repro.interp.evaluator import (
+    _BINOPS,
+    _UNOPS,
+    DEFAULT_THRESHOLD,
+    Evaluator,
+    InterpError,
+)
+from repro.interp.values import Value, to_dtype
+from repro.ir import source as S
+from repro.ir import target as T
+from repro.ir.traverse import free_vars, walk
+from repro.obs import trace as obs
+
+__all__ = ["VectorEvaluator"]
+
+#: closure signature: (env, batch size | None) -> tuple of values
+Closure = Callable[[dict, "int | None"], tuple]
+
+
+# ---------------------------------------------------------------------------
+# Vector op tables (batched operands; must match the scalar tables bitwise)
+# ---------------------------------------------------------------------------
+
+
+class _NeedsFallback(Exception):
+    """Compile-time signal: a node's per-lane results may be irregular
+    (lane-dependent shapes), so the scalar fallback must be installed at an
+    enclosing construct whose output arity/shape is lane-invariant."""
+
+    def __init__(self, construct: str):
+        super().__init__(construct)
+        self.construct = construct
+
+
+def _isfloat(v: Value) -> bool:
+    if isinstance(v, np.ndarray):
+        return v.dtype.kind == "f"
+    return isinstance(v, (float, np.floating))
+
+
+def _vdiv(a, b):
+    # the scalar table picks // vs / by operand float-ness, not declared type
+    if _isfloat(a) or _isfloat(b):
+        return np.true_divide(a, b)
+    return np.floor_divide(a, b)
+
+
+# min/max intentionally avoid np.minimum/np.maximum: Python's ``min(a, b)``
+# returns ``b if b < a else a``, which differs from the NumPy ufuncs on NaNs
+# and signed zeros.  ``np.where`` reproduces the oracle exactly.
+_VBINOPS: dict[str, Callable] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": _vdiv,
+    "%": np.mod,
+    "min": lambda a, b: np.where(np.less(b, a), b, a),
+    "max": lambda a, b: np.where(np.greater(b, a), b, a),
+    "pow": np.power,
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "&&": np.logical_and,  # eager, like the scalar table (docs/execution.md)
+    "||": np.logical_or,
+}
+
+# exp/log/sqrt and the to_* casts share the scalar table's implementations,
+# which operate on whole arrays as well as scalars — one cast code path for
+# both engines is what makes them bit-identical.
+_VUNOPS: dict[str, Callable] = {
+    "neg": np.negative,
+    "abs": np.abs,
+    "exp": _UNOPS["exp"],
+    "log": _UNOPS["log"],
+    "sqrt": _UNOPS["sqrt"],
+    "not": np.logical_not,
+    "to_f32": _UNOPS["to_f32"],
+    "to_f64": _UNOPS["to_f64"],
+    "to_i32": _UNOPS["to_i32"],
+    "to_i64": _UNOPS["to_i64"],
+}
+
+#: node classes that may be evaluated speculatively (both branches of a
+#: batched ``if``): total, effect-free, and cannot raise on defined inputs.
+#: ``pow`` is excluded below — integers to negative powers raise.
+_TOTAL_NODES = (S.Var, S.Lit, S.SizeE, S.TupleExp, S.BinOp, S.UnOp, S.Let, S.If, T.ParCmp)
+
+
+def _is_total(e: S.Exp) -> bool:
+    for sub in walk(e):
+        if not isinstance(sub, _TOTAL_NODES):
+            return False
+        if isinstance(sub, S.BinOp) and sub.op == "pow":
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Batch-shape helpers
+# ---------------------------------------------------------------------------
+
+
+def _lift(v: Value, n: int) -> np.ndarray:
+    """Share a uniform value across all ``n`` lanes (0-stride view)."""
+    a = np.asarray(v)
+    return np.broadcast_to(a, (n,) + a.shape)
+
+
+def _expand(v: np.ndarray, m: int) -> np.ndarray:
+    """Grow a batched value (n, ...) to (n*m, ...): each lane repeated m times."""
+    a = np.asarray(v)
+    b = np.broadcast_to(a[:, None], (a.shape[0], m) + a.shape[1:])
+    return b.reshape((a.shape[0] * m,) + a.shape[1:])
+
+
+def _flatten_b(v: np.ndarray, n: int, m: int) -> np.ndarray:
+    """Fold a batched array's element axis into the batch: (n, m, ...) -> (n*m, ...)."""
+    return np.reshape(v, (n * m,) + v.shape[2:])
+
+
+def _tile_u(v: np.ndarray, n: int) -> np.ndarray:
+    """Tile a uniform array across ``n`` lanes: (m, ...) -> (n*m, ...)."""
+    a = np.asarray(v)
+    return np.broadcast_to(a, (n,) + a.shape).reshape((n * a.shape[0],) + a.shape[1:])
+
+
+def _width(arrs: list, flags: list[bool]) -> int:
+    """Common element count of SOAC argument arrays (mixed batched/uniform)."""
+    n: int | None = None
+    for a, f in zip(arrs, flags):
+        w = int(np.shape(a)[1]) if f else len(a)
+        if n is None:
+            n = w
+        elif w != n:
+            raise InterpError("irregular SOAC arguments")
+    if n is None:
+        raise InterpError("SOAC without array arguments")
+    return n
+
+
+def _select(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-lane branch select; aligns the (n,) condition to array payloads."""
+    pr = a.ndim - 1
+    cc = c.reshape((c.shape[0],) + (1,) * pr) if pr else c
+    return np.where(cc, a, b)
+
+
+# ---------------------------------------------------------------------------
+# The compiler/evaluator
+# ---------------------------------------------------------------------------
+
+
+class VectorEvaluator:
+    """Compiles expressions to batched-NumPy closures and runs them.
+
+    Mirrors :class:`repro.interp.evaluator.Evaluator`'s construction
+    signature.  Compiled kernels are cached per ``(node, batched vars)`` on
+    the instance, so reusing one evaluator across launches (as the
+    differential harness does across forced paths) compiles each kernel
+    once; ``thresholds`` may be mutated between launches, ``sizes`` may
+    not (sizes are burnt into the closures).
+    """
+
+    def __init__(
+        self,
+        sizes: Mapping[str, int] | None = None,
+        thresholds: Mapping[str, int] | None = None,
+    ):
+        self.sizes = dict(sizes or {})
+        self.thresholds = dict(thresholds or {})
+        #: scalar oracle for per-lane fallbacks — shares our (mutable) dicts
+        self.scalar = Evaluator()
+        self.scalar.sizes = self.sizes
+        self.scalar.thresholds = self.thresholds
+        #: (id(node), relevant batched vars) -> (closure, batched flags)
+        self._cache: dict[tuple, tuple[Closure, tuple[bool, ...]]] = {}
+        self._fvs: dict[int, frozenset[str]] = {}
+        self._keep: list[object] = []  # pin cached nodes so ids stay unique
+        self.vector_ops = 0
+        self.scalar_fallbacks = 0
+        self.compiled_kernels = 0
+        #: construct name -> number of per-lane fallback executions
+        self.fallback_counts: Counter[str] = Counter()
+
+    # -- public entry points ------------------------------------------------
+
+    def eval(self, e: S.Exp, env: dict[str, Value]) -> tuple[Value, ...]:
+        """Evaluate to a tuple of values (multi-value convention)."""
+        key = (id(e), frozenset())
+        if key not in self._cache:
+            with perf.timer("exec.compile"):
+                self._compile(e, frozenset())
+        fn, _flags = self._cache[key]
+        v0, f0 = self.vector_ops, self.scalar_fallbacks
+        try:
+            return fn(dict(env), None)
+        finally:
+            if self.vector_ops > v0:
+                perf.inc("exec.vector_ops", self.vector_ops - v0)
+            if self.scalar_fallbacks > f0:
+                perf.inc("exec.scalar_fallbacks", self.scalar_fallbacks - f0)
+
+    def eval1(self, e: S.Exp, env: dict[str, Value]) -> Value:
+        vs = self.eval(e, env)
+        if len(vs) != 1:
+            raise InterpError(f"expected one value, got {len(vs)}")
+        return vs[0]
+
+    # -- compilation core ---------------------------------------------------
+
+    def _free(self, e: S.Exp) -> frozenset[str]:
+        fv = self._fvs.get(id(e))
+        if fv is None:
+            fv = self._fvs[id(e)] = free_vars(e)
+            self._keep.append(e)
+        return fv
+
+    def _free_lambda(self, lam: S.Lambda) -> frozenset[str]:
+        fv = self._fvs.get(id(lam))
+        if fv is None:
+            fv = self._fvs[id(lam)] = free_vars(lam.body) - frozenset(lam.params)
+            self._keep.append(lam)
+        return fv
+
+    def _compile(self, e: S.Exp, bv: frozenset[str]):
+        bv = frozenset(bv) & self._free(e)
+        key = (id(e), bv)
+        hit = self._cache.get(key)
+        if hit is None:
+            hit = self._cache[key] = self._c(e, bv)
+            self._keep.append(e)
+        return hit
+
+    def _c1(self, e: S.Exp, bv: frozenset[str]) -> tuple[Closure, bool]:
+        fn, flags = self._compile(e, bv)
+        if len(flags) != 1:
+            raise InterpError(f"expected one value, got {len(flags)}")
+        return fn, flags[0]
+
+    def _kernel(self) -> None:
+        self.compiled_kernels += 1
+        perf.inc("exec.compile")
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _c(self, e: S.Exp, bv: frozenset[str]):
+        if isinstance(e, S.Var):
+            name = e.name
+
+            def fn_var(env, n):
+                try:
+                    return (env[name],)
+                except KeyError:
+                    raise InterpError(f"unbound variable {name!r}") from None
+
+            return fn_var, (name in bv,)
+        if isinstance(e, S.Lit):
+            val = to_dtype(e.type).type(e.value)
+            return (lambda env, n: (val,)), (False,)
+        if isinstance(e, S.SizeE):
+            sval = np.int64(e.size.eval(self.sizes))
+            return (lambda env, n: (sval,)), (False,)
+        if isinstance(e, T.ParCmp):
+            par = e.par.eval(self.sizes)
+            tname = e.threshold
+
+            def fn_cmp(env, n):
+                return (bool(par >= self.thresholds.get(tname, DEFAULT_THRESHOLD)),)
+
+            return fn_cmp, (False,)
+        if isinstance(e, S.TupleExp):
+            subs = [self._compile(x, bv) for x in e.elems]
+            flags = tuple(f for _, fl in subs for f in fl)
+
+            def fn_tup(env, n):
+                out: list[Value] = []
+                for sfn, _ in subs:
+                    out.extend(sfn(env, n))
+                return tuple(out)
+
+            return fn_tup, flags
+        if isinstance(e, S.BinOp):
+            return self._c_binop(e, bv)
+        if isinstance(e, S.UnOp):
+            return self._c_unop(e, bv)
+        if isinstance(e, S.Let):
+            return self._c_let(e, bv)
+        if isinstance(e, S.If):
+            return self._c_if(e, bv)
+        if isinstance(e, S.Index):
+            return self._c_index(e, bv)
+        if isinstance(e, S.Iota):
+            return self._c_iota(e, bv)
+        if isinstance(e, S.Replicate):
+            return self._c_replicate(e, bv)
+        if isinstance(e, S.Rearrange):
+            return self._c_rearrange(e, bv)
+        if isinstance(e, S.Loop):
+            return self._c_loop(e, bv)
+        if isinstance(e, S.Map):
+            return self._guarded(
+                e, bv,
+                lambda: len(self._compile(e.lam.body, frozenset())[1]),
+                lambda: self._c_map(e, bv),
+            )
+        if isinstance(e, (S.Reduce, S.Scan)):
+            return self._guarded(
+                e, bv, lambda: len(e.nes),
+                lambda: self._c_fold(e, bv, scan=isinstance(e, S.Scan)),
+            )
+        if isinstance(e, (S.Redomap, S.Scanomap)):
+            return self._guarded(
+                e, bv, lambda: len(e.nes),
+                lambda: self._c_xomap(e, bv, scan=isinstance(e, S.Scanomap)),
+            )
+        if isinstance(e, S.Intrinsic):
+            return self._c_intrinsic(e, bv)
+        if isinstance(e, T.SegMap):
+            return self._guarded(
+                e, bv,
+                lambda: len(self._compile(e.body, frozenset())[1]),
+                lambda: self._c_segmap(e, bv),
+            )
+        if isinstance(e, (T.SegRed, T.SegScan)):
+            return self._guarded(
+                e, bv, lambda: len(e.nes),
+                lambda: self._c_segfold(e, bv, scan=isinstance(e, T.SegScan)),
+            )
+        raise InterpError(f"cannot evaluate {type(e).__name__}")
+
+    # -- scalar-shaped nodes --------------------------------------------------
+
+    def _c_binop(self, e: S.BinOp, bv):
+        fx, bx = self._c1(e.x, bv)
+        fy, by = self._c1(e.y, bv)
+        if not (bx or by):
+            op = _BINOPS[e.op]
+            return (lambda env, n: (op(fx(env, n)[0], fy(env, n)[0]),)), (False,)
+        vop = _VBINOPS[e.op]
+
+        def fn(env, n):
+            self.vector_ops += 1
+            return (vop(fx(env, n)[0], fy(env, n)[0]),)
+
+        return fn, (True,)
+
+    def _c_unop(self, e: S.UnOp, bv):
+        fx, bx = self._c1(e.x, bv)
+        if not bx:
+            op = _UNOPS[e.op]
+            return (lambda env, n: (op(fx(env, n)[0]),)), (False,)
+        vop = _VUNOPS[e.op]
+
+        def fn(env, n):
+            self.vector_ops += 1
+            return (vop(fx(env, n)[0]),)
+
+        return fn, (True,)
+
+    def _c_let(self, e: S.Let, bv):
+        frhs, rflags = self._compile(e.rhs, bv)
+        if len(rflags) != len(e.names):
+            raise InterpError(
+                f"let arity mismatch: {len(e.names)} names, {len(rflags)} values"
+            )
+        body_bv = (bv - set(e.names)) | {nm for nm, f in zip(e.names, rflags) if f}
+        fbody, bflags = self._compile(e.body, frozenset(body_bv))
+        names = e.names
+
+        def fn(env, n):
+            vals = frhs(env, n)
+            env2 = dict(env)
+            env2.update(zip(names, vals))
+            return fbody(env2, n)
+
+        return fn, bflags
+
+    def _c_if(self, e: S.If, bv):
+        fc, bc = self._c1(e.cond, bv)
+        ft, tfl = self._compile(e.then, bv)
+        fe, efl = self._compile(e.els, bv)
+        if len(tfl) != len(efl):
+            raise InterpError("if branch arity mismatch")
+        if not bc:
+            flags = tuple(a or b for a, b in zip(tfl, efl))
+
+            def fn_u(env, n):
+                taken, src = (ft, tfl) if fc(env, n)[0] else (fe, efl)
+                vals = taken(env, n)
+                return tuple(
+                    _lift(v, n) if f and not sf else v
+                    for v, f, sf in zip(vals, flags, src)
+                )
+
+            return fn_u, flags
+        if not (_is_total(e.then) and _is_total(e.els)):
+            return self._c_fallback(e, bv, len(tfl), "if")
+
+        def fn_b(env, n):
+            c = fc(env, n)[0]
+            # speculative: both branches run on every lane; suppress the
+            # warnings the oracle (which runs only the taken branch) avoids
+            with np.errstate(all="ignore"), warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                tv = ft(env, n)
+                ev = fe(env, n)
+            self.vector_ops += 1
+            out = []
+            for (a, af), (b, bf) in zip(zip(tv, tfl), zip(ev, efl)):
+                a2 = np.asarray(a) if af else _lift(a, c.shape[0])
+                b2 = np.asarray(b) if bf else _lift(b, c.shape[0])
+                out.append(_select(c, a2, b2))
+            return tuple(out)
+
+        return fn_b, (True,) * len(tfl)
+
+    def _c_index(self, e: S.Index, bv):
+        fa, ba = self._c1(e.arr, bv)
+        fidx = [self._c1(i, bv) for i in e.idxs]
+        iflags = [f for _, f in fidx]
+        if not ba and not any(iflags):
+
+            def fn_u(env, n):
+                arr = fa(env, n)[0]
+                idxs = tuple(int(f(env, n)[0]) for f, _ in fidx)
+                return (arr[idxs],)
+
+            return fn_u, (False,)
+
+        def fn_b(env, n):
+            arr = fa(env, n)[0]
+            ivals = [f(env, n)[0] for f, _ in fidx]
+            self.vector_ops += 1
+            if ba:
+                if any(iflags):
+                    parts = (np.arange(np.shape(arr)[0]),) + tuple(
+                        v if fl else int(v) for v, fl in zip(ivals, iflags)
+                    )
+                else:
+                    parts = (slice(None),) + tuple(int(v) for v in ivals)
+            else:
+                parts = tuple(v if fl else int(v) for v, fl in zip(ivals, iflags))
+            return (arr[parts],)
+
+        return fn_b, (True,)
+
+    def _c_iota(self, e: S.Iota, bv):
+        fnn, bn = self._c1(e.n, bv)
+        if bn:
+            # lane-dependent length: irregular, restacking is impossible
+            # here — punt to the nearest enclosing fixed-arity construct
+            raise _NeedsFallback("iota")
+        return (lambda env, n: (np.arange(int(fnn(env, n)[0]), dtype=np.int64),)), (False,)
+
+    def _c_replicate(self, e: S.Replicate, bv):
+        fnn, bn = self._c1(e.n, bv)
+        fx, bx = self._c1(e.x, bv)
+        if bn:
+            raise _NeedsFallback("replicate")
+        if not bx:
+
+            def fn_u(env, n):
+                m = int(fnn(env, n)[0])
+                x = fx(env, n)[0]
+                if isinstance(x, np.ndarray):
+                    return (np.broadcast_to(x, (m,) + x.shape).copy(),)
+                return (np.full(m, x),)
+
+            return fn_u, (False,)
+
+        def fn_b(env, n):
+            m = int(fnn(env, n)[0])
+            v = np.asarray(fx(env, n)[0])
+            self.vector_ops += 1
+            return (np.broadcast_to(v[:, None], (v.shape[0], m) + v.shape[1:]),)
+
+        return fn_b, (True,)
+
+    def _c_rearrange(self, e: S.Rearrange, bv):
+        fa, ba = self._c1(e.arr, bv)
+        if not ba:
+            perm = e.perm
+            return (lambda env, n: (np.transpose(fa(env, n)[0], perm),)), (False,)
+        bperm = (0,) + tuple(d + 1 for d in e.perm)
+
+        def fn(env, n):
+            self.vector_ops += 1
+            return (np.transpose(fa(env, n)[0], bperm),)
+
+        return fn, (True,)
+
+    def _c_loop(self, e: S.Loop, bv):
+        fb, bflag = self._c1(e.bound, bv)
+        if bflag:
+            return self._c_fallback(e, bv, len(e.params), "loop")
+        finits = [self._c1(i, bv) for i in e.inits]
+        initflags = [f for _, f in finits]
+        flags = list(initflags)
+        base_bv = (bv - set(e.params)) - {e.ivar}
+        while True:
+            body_bv = frozenset(base_bv | {p for p, f in zip(e.params, flags) if f})
+            fbody, rflags = self._compile(e.body, body_bv)
+            if len(rflags) != len(e.params):
+                raise InterpError("loop body arity mismatch")
+            new = [a or b for a, b in zip(flags, rflags)]
+            if new == flags:
+                break
+            flags = new
+        params, ivar = e.params, e.ivar
+        lift_init = [f and not f0 for f, f0 in zip(flags, initflags)]
+        lift_step = [f and not rf for f, rf in zip(flags, rflags)]
+
+        def fn(env, n):
+            vals = [f(env, n)[0] for f, _ in finits]
+            if any(lift_init):
+                vals = [_lift(v, n) if lf else v for v, lf in zip(vals, lift_init)]
+            bound = int(fb(env, n)[0])
+            for it in range(bound):
+                env2 = dict(env)
+                env2.update(zip(params, vals))
+                env2[ivar] = np.int64(it)
+                out = fbody(env2, n)
+                vals = [_lift(v, n) if lf else v for v, lf in zip(out, lift_step)]
+            return tuple(vals)
+
+        return fn, tuple(flags)
+
+    def _c_intrinsic(self, e: S.Intrinsic, bv):
+        fargs = [self._c1(a, bv) for a in e.args]
+        if any(f for _, f in fargs):
+            return self._c_fallback(e, bv, 1, f"intrinsic:{e.name}")
+        defn = intrinsics.get(e.name)
+
+        def fn(env, n):
+            args = [f(env, n)[0] for f, _ in fargs]
+            out = defn.interp(*args)
+            out = out if isinstance(out, tuple) else (out,)
+            if len(out) != 1:
+                raise InterpError(
+                    f"multi-value intrinsic {e.name!r} not supported by the vector engine"
+                )
+            return out
+
+        return fn, (False,)
+
+    # -- per-lane scalar fallback ---------------------------------------------
+
+    def _guarded(self, e: S.Exp, bv, arity_fn, compile_fn):
+        """Compile via ``compile_fn``; on :class:`_NeedsFallback` (a nested
+        construct whose per-lane results may be irregular, e.g. ``iota``
+        with a batched extent) fall back to the scalar oracle at *this*
+        node, whose arity ``arity_fn()`` is statically known."""
+        try:
+            return compile_fn()
+        except _NeedsFallback as nf:
+            if not bv:
+                # this construct starts the batch itself: per-lane results
+                # are irregular and cannot be restacked (the scalar oracle
+                # rejects these too)
+                raise InterpError(
+                    f"irregular nested parallelism: {nf.construct} with "
+                    "batched extent"
+                ) from None
+            return self._c_fallback(e, bv, arity_fn(), nf.construct)
+
+    def _c_fallback(self, e: S.Exp, bv, arity: int, construct: str):
+        """Run ``e`` through the scalar oracle once per lane and restack."""
+        self._kernel()
+        fv = sorted(self._free(e))
+        bvset = set(bv)
+        scalar = self.scalar
+
+        def fn(env, n):
+            self.scalar_fallbacks += 1
+            self.fallback_counts[construct] += 1
+            with obs.span(
+                "exec.fallback", cat="exec", construct=construct, lanes=n, fallback=True
+            ):
+                lanes = []
+                for i in range(n):
+                    env_i = {
+                        k: (env[k][i] if k in bvset else env[k])
+                        for k in fv
+                        if k in env
+                    }
+                    row = scalar._eval(e, env_i)
+                    if len(row) != arity:
+                        raise InterpError(
+                            f"fallback arity mismatch: {len(row)} vs {arity}"
+                        )
+                    lanes.append(row)
+                return tuple(
+                    np.stack([r[j] for r in lanes]) for j in range(arity)
+                )
+
+        return fn, (True,) * arity
+
+    # -- map ------------------------------------------------------------------
+
+    def _c_map(self, e: S.Map, bv):
+        lam = e.lam
+        if len(lam.params) != len(e.arrs):
+            raise InterpError("lambda arity mismatch")
+        farrs = [self._c1(a, bv) for a in e.arrs]
+        aflags = [f for _, f in farrs]
+        outer = frozenset(bv & self._free_lambda(lam))
+        self._kernel()
+        if not outer and not any(aflags):
+            # fresh batch: the map itself becomes the batch axis
+            fbody, bflags = self._compile(lam.body, frozenset(lam.params))
+            params = lam.params
+
+            def fn_u(env, n):
+                arrs = [f(env, n)[0] for f, _ in farrs]
+                m = _width(arrs, aflags)
+                if m == 0:
+                    raise InterpError("map over empty array (shape not inferable)")
+                env2 = dict(env)
+                env2.update(zip(params, arrs))
+                with obs.span("exec.kernel", cat="exec", construct="map", batch=1, width=m):
+                    vals = fbody(env2, m)
+                return tuple(
+                    np.asarray(v) if f else _lift(v, m) for v, f in zip(vals, bflags)
+                )
+
+            return fn_u, (False,) * len(bflags)
+        # fold the map's axis into the enclosing batch: (n, m, ...) -> (n*m, ...)
+        expand = sorted(outer)
+        fbody, bflags = self._compile(lam.body, outer | frozenset(lam.params))
+        params = lam.params
+
+        def fn_b(env, n):
+            arrs = [f(env, n)[0] for f, _ in farrs]
+            m = _width(arrs, aflags)
+            if m == 0:
+                raise InterpError("map over empty array (shape not inferable)")
+            big = n * m
+            env2 = dict(env)
+            for name in expand:
+                env2[name] = _expand(env2[name], m)
+            for p, v, f in zip(params, arrs, aflags):
+                env2[p] = _flatten_b(v, n, m) if f else _tile_u(v, n)
+            with obs.span("exec.kernel", cat="exec", construct="map", batch=n, width=m):
+                vals = fbody(env2, big)
+            out = []
+            for v, f in zip(vals, bflags):
+                a = np.asarray(v) if f else _lift(v, big)
+                out.append(a.reshape((n, m) + a.shape[1:]))
+            return tuple(out)
+
+        return fn_b, (True,) * len(bflags)
+
+    # -- reduce / scan ---------------------------------------------------------
+
+    def _compile_operator(self, lam, bv, accflags, valflags):
+        """Compile a fold operator to a fixpoint over accumulator batchedness."""
+        if len(lam.params) != len(accflags) + len(valflags):
+            raise InterpError("lambda arity mismatch")
+        lam_fv = self._free_lambda(lam)
+        accflags = list(accflags)
+        while True:
+            lam_bv = frozenset(
+                (bv & lam_fv)
+                | {p for p, f in zip(lam.params, accflags + list(valflags)) if f}
+            )
+            flam, rflags = self._compile(lam.body, lam_bv)
+            if len(rflags) != len(accflags):
+                raise InterpError("lambda arity mismatch")
+            new = [a or b for a, b in zip(accflags, rflags)]
+            if new == accflags:
+                break
+            accflags = new
+        return flam, accflags, list(rflags)
+
+    def _c_fold(self, e, bv, scan: bool):
+        construct = "scan" if scan else "reduce"
+        farrs = [self._c1(a, bv) for a in e.arrs]
+        aflags = [f for _, f in farrs]
+        fnes = [self._c1(x, bv) for x in e.nes]
+        nesflags = [f for _, f in fnes]
+        flam, accflags, rflags = self._compile_operator(e.lam, bv, nesflags, aflags)
+        self._kernel()
+        params = e.lam.params
+        lift_ne = [f and not f0 for f, f0 in zip(accflags, nesflags)]
+        lift_step = [f and not rf for f, rf in zip(accflags, rflags)]
+
+        def fn(env, n):
+            arrs = [f(env, n)[0] for f, _ in farrs]
+            m = _width(arrs, aflags)
+            if scan and m == 0:
+                raise InterpError("scan over empty array")
+            acc = [f(env, n)[0] for f, _ in fnes]
+            if any(lift_ne):
+                acc = [_lift(v, n) if lf else v for v, lf in zip(acc, lift_ne)]
+            rows: list[list[Value]] = []
+            with obs.span(
+                "exec.kernel", cat="exec", construct=construct, batch=n or 1, steps=m
+            ):
+                for i in range(m):
+                    elems = [a[:, i] if f else a[i] for a, f in zip(arrs, aflags)]
+                    env2 = dict(env)
+                    env2.update(zip(params, acc + elems))
+                    out = flam(env2, n)
+                    acc = [_lift(v, n) if lf else v for v, lf in zip(out, lift_step)]
+                    if scan:
+                        rows.append(acc)
+            if not scan:
+                return tuple(acc)
+            return tuple(
+                np.stack([r[j] for r in rows], axis=1 if accflags[j] else 0)
+                for j in range(len(acc))
+            )
+
+        return fn, tuple(accflags)
+
+    def _c_xomap(self, e, bv, scan: bool):
+        construct = "scanomap" if scan else "redomap"
+        op_lam = e.scan_lam if scan else e.red_lam
+        farrs = [self._c1(a, bv) for a in e.arrs]
+        aflags = [f for _, f in farrs]
+        fnes = [self._c1(x, bv) for x in e.nes]
+        nesflags = [f for _, f in fnes]
+        map_lam = e.map_lam
+        if len(map_lam.params) != len(farrs):
+            raise InterpError("lambda arity mismatch")
+        map_bv = frozenset(
+            (bv & self._free_lambda(map_lam))
+            | {p for p, f in zip(map_lam.params, aflags) if f}
+        )
+        fmap, mflags = self._compile(map_lam.body, map_bv)
+        flam, accflags, rflags = self._compile_operator(op_lam, bv, nesflags, mflags)
+        self._kernel()
+        mparams, oparams = map_lam.params, op_lam.params
+        lift_ne = [f and not f0 for f, f0 in zip(accflags, nesflags)]
+        lift_step = [f and not rf for f, rf in zip(accflags, rflags)]
+
+        def fn(env, n):
+            arrs = [f(env, n)[0] for f, _ in farrs]
+            m = _width(arrs, aflags)
+            if scan and m == 0:
+                raise InterpError("scanomap over empty array")
+            acc = [f(env, n)[0] for f, _ in fnes]
+            if any(lift_ne):
+                acc = [_lift(v, n) if lf else v for v, lf in zip(acc, lift_ne)]
+            rows: list[list[Value]] = []
+            with obs.span(
+                "exec.kernel", cat="exec", construct=construct, batch=n or 1, steps=m
+            ):
+                for i in range(m):
+                    elems = [a[:, i] if f else a[i] for a, f in zip(arrs, aflags)]
+                    env2 = dict(env)
+                    env2.update(zip(mparams, elems))
+                    mapped = list(fmap(env2, n))
+                    env3 = dict(env)
+                    env3.update(zip(oparams, acc + mapped))
+                    out = flam(env3, n)
+                    acc = [_lift(v, n) if lf else v for v, lf in zip(out, lift_step)]
+                    if scan:
+                        rows.append(acc)
+            if not scan:
+                return tuple(acc)
+            return tuple(
+                np.stack([r[j] for r in rows], axis=1 if accflags[j] else 0)
+                for j in range(len(acc))
+            )
+
+        return fn, tuple(accflags)
+
+    # -- segmented operations --------------------------------------------------
+
+    def _compile_nest(self, bindings, bv, tail_fvs):
+        """Compile a mapnest context prefix into per-level entry plans.
+
+        ``tail_fvs`` are the free variables referenced after all of
+        ``bindings`` (body, operator, neutral elements); every level must
+        keep them addressable, expanding batched ones as the batch grows.
+        """
+        rems: list[frozenset[str]] = [frozenset()] * len(bindings)
+        rem = frozenset(tail_fvs)
+        for k in reversed(range(len(bindings))):
+            rems[k] = rem
+            for arr in bindings[k].arrays:
+                rem = rem | self._free(arr)
+        plan = []
+        cur_bv = frozenset(bv)
+        for k, b in enumerate(bindings):
+            farrs = [self._c1(a, cur_bv) for a in b.arrays]
+            aflags = [f for _, f in farrs]
+            expand = sorted(cur_bv & rems[k])
+            plan.append((farrs, aflags, b.params, expand))
+            cur_bv = frozenset((cur_bv & rems[k]) | set(b.params))
+        return plan, cur_bv
+
+    def _enter_level(self, env, n, level, empty_msg):
+        farrs, aflags, params, expand = level
+        arrs = [f(env, n)[0] for f, _ in farrs]
+        m = _width(arrs, aflags)
+        if m == 0:
+            raise InterpError(empty_msg)
+        env2 = dict(env)
+        if n is None:
+            env2.update(zip(params, arrs))
+            return env2, m, m
+        for name in expand:
+            env2[name] = _expand(env2[name], m)
+        for p, v, f in zip(params, arrs, aflags):
+            env2[p] = _flatten_b(v, n, m) if f else _tile_u(v, n)
+        return env2, n * m, m
+
+    def _c_segmap(self, e: T.SegMap, bv):
+        bindings = tuple(e.ctx)
+        plan, body_bv = self._compile_nest(bindings, bv, self._free(e.body))
+        fbody, bflags = self._compile(e.body, body_bv)
+        outer = bool(bv)
+        self._kernel()
+        construct = f"segmap{e.level}"
+
+        def fn(env, n):
+            with obs.span("exec.kernel", cat="exec", construct=construct, batch=n or 1):
+                # no batched inputs -> the nest starts its own fresh batch
+                env2, cur, dims = dict(env), n if outer else None, []
+                for level in plan:
+                    env2, cur, m = self._enter_level(
+                        env2, cur, level, "segmap over empty dimension"
+                    )
+                    dims.append(m)
+                vals = fbody(env2, cur)
+                lead = (n,) if outer else ()
+                out = []
+                for v, f in zip(vals, bflags):
+                    a = np.asarray(v) if f else _lift(v, cur)
+                    out.append(a.reshape(lead + tuple(dims) + a.shape[1:]))
+                return tuple(out)
+
+        return fn, (outer,) * len(bflags)
+
+    def _c_segfold(self, e, bv, scan: bool):
+        bindings = tuple(e.ctx)
+        prefix, last = bindings[:-1], bindings[-1]
+        construct = f"segscan{e.level}" if scan else f"segred{e.level}"
+        tail = self._free(e.body) | self._free_lambda(e.lam)
+        for x in e.nes:
+            tail = tail | self._free(x)
+        for arr in last.arrays:
+            tail = tail | self._free(arr)
+        plan, pbv = self._compile_nest(prefix, bv, tail)
+        farrs = [self._c1(a, pbv) for a in last.arrays]
+        aflags = [f for _, f in farrs]
+        fnes = [self._c1(x, pbv) for x in e.nes]
+        nesflags = [f for _, f in fnes]
+        body_bv = frozenset(
+            (pbv - set(last.params)) | {p for p, f in zip(last.params, aflags) if f}
+        )
+        fbody, vflags = self._compile(e.body, body_bv)
+        flam, accflags, rflags = self._compile_operator(e.lam, pbv, nesflags, vflags)
+        self._kernel()
+        outer = bool(bv)
+        params, oparams = last.params, e.lam.params
+        lift_ne = [f and not f0 for f, f0 in zip(accflags, nesflags)]
+        lift_step = [f and not rf for f, rf in zip(accflags, rflags)]
+        empty_msg = (
+            "segscan over empty dimension" if scan else "segred over empty dimension"
+        )
+
+        def fn(env, n):
+            with obs.span("exec.kernel", cat="exec", construct=construct, batch=n or 1):
+                # no batched inputs -> the nest starts its own fresh batch
+                env2, cur, dims = dict(env), n if outer else None, []
+                for level in plan:
+                    env2, cur, m = self._enter_level(
+                        env2, cur, level, "segmap over empty dimension"
+                    )
+                    dims.append(m)
+                arrs = [f(env2, cur)[0] for f, _ in farrs]
+                m = _width(arrs, aflags)
+                if scan and m == 0:
+                    raise InterpError(empty_msg)
+                acc = [f(env2, cur)[0] for f, _ in fnes]
+                if any(lift_ne):
+                    acc = [_lift(v, cur) if lf else v for v, lf in zip(acc, lift_ne)]
+                rows: list[list[Value]] = []
+                for i in range(m):
+                    elems = [a[:, i] if f else a[i] for a, f in zip(arrs, aflags)]
+                    env3 = dict(env2)
+                    env3.update(zip(params, elems))
+                    vals = list(fbody(env3, cur))
+                    env4 = dict(env2)
+                    env4.update(zip(oparams, acc + vals))
+                    out = flam(env4, cur)
+                    acc = [_lift(v, cur) if lf else v for v, lf in zip(out, lift_step)]
+                    if scan:
+                        rows.append(acc)
+                lead = (n,) if outer else ()
+                if scan:
+                    # scan axis lands innermost: (cur, m, ...) per prefix element
+                    stacked = [
+                        np.stack([r[j] for r in rows], axis=1 if accflags[j] else 0)
+                        for j in range(len(acc))
+                    ]
+                    if cur is None:
+                        return tuple(stacked)
+                    out_vals = []
+                    for v, f in zip(stacked, accflags):
+                        a = np.asarray(v) if f else _lift(v, cur)
+                        out_vals.append(a.reshape(lead + tuple(dims) + a.shape[1:]))
+                    return tuple(out_vals)
+                if cur is None:
+                    return tuple(acc)
+                out_vals = []
+                for v, f in zip(acc, accflags):
+                    a = np.asarray(v) if f else _lift(v, cur)
+                    out_vals.append(a.reshape(lead + tuple(dims) + a.shape[1:]))
+                return tuple(out_vals)
+
+        return fn, (outer,) * len(e.nes)

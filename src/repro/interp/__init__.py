@@ -5,6 +5,8 @@ from repro.interp.evaluator import (
     Evaluator,
     InterpError,
     bind_sizes,
+    default_engine,
+    program_env,
     run_program,
 )
 
@@ -13,5 +15,7 @@ __all__ = [
     "Evaluator",
     "InterpError",
     "bind_sizes",
+    "default_engine",
+    "program_env",
     "run_program",
 ]

@@ -14,7 +14,7 @@ are bit-identical across source and flattened programs.
 
 from __future__ import annotations
 
-import math
+import os
 from typing import Mapping
 
 import numpy as np
@@ -26,7 +26,14 @@ from repro.ir import target as T
 from repro.ir.builder import Program
 from repro.ir.types import ArrayType
 
-__all__ = ["Evaluator", "run_program", "bind_sizes", "InterpError"]
+__all__ = [
+    "Evaluator",
+    "run_program",
+    "program_env",
+    "bind_sizes",
+    "default_engine",
+    "InterpError",
+]
 
 DEFAULT_THRESHOLD = 2**15  # paper §4.2: untuned thresholds default to 2^15
 
@@ -35,6 +42,50 @@ class InterpError(Exception):
     pass
 
 
+def _preserve_dtype(ufunc):
+    """Apply ``ufunc``, casting the result back to the input's dtype.
+
+    ``exp``/``log``/``sqrt`` are *type-preserving* in the language
+    (``S.UNOPS`` maps them to ``None``), so an ``i32`` input must yield an
+    ``i32`` result — numpy's ufuncs would promote integer inputs to floats.
+    The cast goes through ``astype`` (a C-level cast) so the scalar and
+    vector engines, which share this helper, are bit-identical even for
+    out-of-range values.  Works on scalars and whole arrays alike.
+    """
+
+    def f(a):
+        arr = np.asarray(a)
+        out = np.asarray(ufunc(arr))
+        if out.dtype != arr.dtype:
+            out = out.astype(arr.dtype)
+        return out[()] if arr.ndim == 0 else out
+
+    return f
+
+
+def _cast(dtype):
+    """``to_*`` conversion via ``astype`` — no Python ``int`` round-trip.
+
+    ``np.int32(int(a))`` raises ``OverflowError`` for out-of-range floats
+    while array casts wrap; routing both engines through the same
+    ``astype`` machinery keeps them bit-identical (and deterministic on a
+    given platform).  Works on scalars and whole arrays alike.
+    """
+
+    def f(a):
+        arr = np.asarray(a)
+        out = arr.astype(dtype)
+        return out[()] if arr.ndim == 0 else out
+
+    return f
+
+
+# ``&&`` and ``||`` are EAGER: ``BinOp`` evaluates both operands before the
+# operator runs (see ``_eval``), so a trapping RHS traps even when the LHS
+# already decides the result.  The vector engine relies on this — it computes
+# whole-array operands unconditionally — so short-circuiting must never be
+# (re)introduced here without also changing ``docs/execution.md`` and the
+# regression test in ``tests/interp/test_eager_bool.py``.
 _BINOPS = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
@@ -57,14 +108,14 @@ _BINOPS = {
 _UNOPS = {
     "neg": lambda a: -a,
     "abs": lambda a: abs(a),
-    "exp": lambda a: type(a)(np.exp(a)) if isinstance(a, np.floating) else math.exp(a),
-    "log": lambda a: type(a)(np.log(a)) if isinstance(a, np.floating) else math.log(a),
-    "sqrt": lambda a: type(a)(np.sqrt(a)) if isinstance(a, np.floating) else math.sqrt(a),
+    "exp": _preserve_dtype(np.exp),
+    "log": _preserve_dtype(np.log),
+    "sqrt": _preserve_dtype(np.sqrt),
     "not": lambda a: not bool(a),
-    "to_f32": np.float32,
-    "to_f64": np.float64,
-    "to_i32": lambda a: np.int32(int(a)),
-    "to_i64": lambda a: np.int64(int(a)),
+    "to_f32": _cast(np.float32),
+    "to_f64": _cast(np.float64),
+    "to_i32": _cast(np.int32),
+    "to_i64": _cast(np.int64),
 }
 
 
@@ -361,25 +412,64 @@ def bind_sizes(prog: Program, inputs: Mapping[str, np.ndarray]) -> dict[str, int
     return sizes
 
 
+def program_env(
+    prog: Program,
+    inputs: Mapping[str, Value],
+    sizes: Mapping[str, int] | None = None,
+) -> tuple[dict[str, Value], dict[str, int]]:
+    """The (environment, size assignment) pair for running ``prog``.
+
+    Size variables are inferred from the input array shapes; scalar integer
+    parameters double as size variables (e.g. loop bounds) unless ``sizes``
+    overrides them.
+    """
+    env = {name: inputs[name] for name, _ in prog.params}
+    all_sizes = bind_sizes(prog, inputs)
+    if sizes:
+        all_sizes.update(sizes)
+    for name, t in prog.params:
+        if not isinstance(t, ArrayType) and isinstance(inputs[name], (int, np.integer)):
+            all_sizes.setdefault(name, int(inputs[name]))
+    return env, all_sizes
+
+
+def default_engine() -> str:
+    """The engine ``run_program`` uses when none is requested.
+
+    ``REPRO_EXEC`` selects it process-wide (``scalar`` | ``vector``); the
+    default is the scalar tree-walking oracle.
+    """
+    return os.environ.get("REPRO_EXEC") or "scalar"
+
+
 def run_program(
     prog: Program,
     inputs: Mapping[str, Value],
     body: S.Exp | None = None,
     thresholds: Mapping[str, int] | None = None,
     sizes: Mapping[str, int] | None = None,
+    engine: str | None = None,
 ) -> tuple[Value, ...]:
     """Run a program (or an alternative ``body`` over its parameters).
 
     Scalar program parameters must be supplied in ``inputs`` too; size
     variables are inferred from array shapes unless given explicitly.
+
+    ``engine`` selects the executor: ``"scalar"`` is this module's
+    tree-walking oracle, ``"vector"`` the batched-NumPy compiler in
+    :mod:`repro.exec` (bit-identical results, see ``docs/execution.md``).
+    ``None`` defers to the ``REPRO_EXEC`` environment variable, defaulting
+    to ``"scalar"``.
     """
-    env = {name: inputs[name] for name, _ in prog.params}
-    all_sizes = bind_sizes(prog, inputs)
-    if sizes:
-        all_sizes.update(sizes)
-    # scalar params that double as size variables (e.g. loop bounds)
-    for name, t in prog.params:
-        if not isinstance(t, ArrayType) and isinstance(inputs[name], (int, np.integer)):
-            all_sizes.setdefault(name, int(inputs[name]))
+    eng = engine or default_engine()
+    env, all_sizes = program_env(prog, inputs, sizes)
+    target = body if body is not None else prog.body
+    if eng == "vector":
+        from repro.exec import VectorEvaluator
+
+        vev = VectorEvaluator(sizes=all_sizes, thresholds=thresholds)
+        return vev.eval(target, env)
+    if eng != "scalar":
+        raise ValueError(f"unknown engine {eng!r} (expected 'scalar' or 'vector')")
     ev = Evaluator(sizes=all_sizes, thresholds=thresholds)
-    return ev.eval(body if body is not None else prog.body, env)
+    return ev.eval(target, env)

@@ -1,0 +1,133 @@
+"""Dtype preservation across every scalar op, on both engines.
+
+Historically ``to_i32``/``to_i64`` round-tripped through Python ``int``
+(losing the numpy dtype entirely) and ``exp``/``log``/``sqrt`` only
+preserved the dtype of ``np.floating`` inputs.  Both executors now share
+the ``_cast``/``_preserve_dtype`` helpers, so the result dtype of every
+``_BINOPS``/``_UNOPS`` entry is a function of the *operator* and the input
+dtype alone — never of which engine ran it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec import VectorEvaluator
+from repro.interp import Evaluator
+from repro.interp.evaluator import _BINOPS, _UNOPS
+from repro.ir import source as S
+from repro.ir.builder import map_, v
+
+DTYPES = {
+    "i32": np.int32,
+    "i64": np.int64,
+    "f32": np.float32,
+    "f64": np.float64,
+}
+
+#: ops returning bool regardless of the operand dtype
+_BOOL_BINOPS = {"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+#: ops with a fixed target dtype
+_CAST_UNOPS = {
+    "to_f32": np.float32,
+    "to_f64": np.float64,
+    "to_i32": np.int32,
+    "to_i64": np.int64,
+}
+
+SCALAR = Evaluator()
+
+
+def _sample(dtype, op=None):
+    # positive and away from 0/1 so exp/log/sqrt/pow/% are all defined
+    return dtype.type(3) if np.issubdtype(dtype, np.integer) else dtype.type(2.25)
+
+
+def _expected_dtype(op, dtype, unary):
+    if not unary and op in _BOOL_BINOPS:
+        return np.dtype(bool)
+    if unary and op == "not":
+        return np.dtype(bool)
+    if unary and op in _CAST_UNOPS:
+        return np.dtype(_CAST_UNOPS[op])
+    if not unary and op == "/" and np.issubdtype(dtype, np.integer):
+        return dtype  # integer division stays integral
+    return dtype
+
+
+def _scalar_result(op, dtype, unary):
+    x = _sample(np.dtype(dtype))
+    if unary:
+        e = S.UnOp(op, S.Var("x"))
+        if op == "not":
+            return SCALAR.eval1(e, {"x": np.bool_(True)})
+        return SCALAR.eval1(e, {"x": x})
+    e = S.BinOp(op, S.Var("x"), S.Var("y"))
+    if op in ("&&", "||"):
+        return SCALAR.eval1(e, {"x": np.bool_(True), "y": np.bool_(False)})
+    return SCALAR.eval1(e, {"x": x, "y": x})
+
+
+def _vector_result(op, dtype, unary):
+    dt = np.dtype(dtype)
+    if unary:
+        e = map_(lambda x: S.UnOp(op, x), v("xs"))
+        if op == "not":
+            xs = np.asarray([True, False])
+        else:
+            xs = np.full(3, _sample(dt), dtype=dt)
+        return VectorEvaluator().eval(e, {"xs": xs})[0]
+    e = map_(lambda x, y: S.BinOp(op, x, y), v("xs"), v("ys"))
+    if op in ("&&", "||"):
+        xs = np.asarray([True, False])
+        ys = np.asarray([False, True])
+    else:
+        xs = ys = np.full(3, _sample(dt), dtype=dt)
+    return VectorEvaluator().eval(e, {"xs": xs, "ys": ys})[0]
+
+
+@pytest.mark.parametrize("dtype", sorted(DTYPES))
+@pytest.mark.parametrize("op", sorted(_BINOPS))
+def test_binop_dtype_scalar(op, dtype):
+    if op in ("&&", "||") or (op == "not"):
+        expected = np.dtype(bool)
+    else:
+        expected = _expected_dtype(op, np.dtype(DTYPES[dtype]), unary=False)
+    out = _scalar_result(op, DTYPES[dtype], unary=False)
+    assert np.asarray(out).dtype == expected, (op, dtype, np.asarray(out).dtype)
+
+
+@pytest.mark.parametrize("dtype", sorted(DTYPES))
+@pytest.mark.parametrize("op", sorted(_UNOPS))
+def test_unop_dtype_scalar(op, dtype):
+    expected = _expected_dtype(op, np.dtype(DTYPES[dtype]), unary=True)
+    out = _scalar_result(op, DTYPES[dtype], unary=True)
+    assert np.asarray(out).dtype == expected, (op, dtype, np.asarray(out).dtype)
+
+
+@pytest.mark.parametrize("dtype", sorted(DTYPES))
+@pytest.mark.parametrize("op", sorted(_BINOPS))
+def test_binop_dtype_vector(op, dtype):
+    if op in ("&&", "||"):
+        expected = np.dtype(bool)
+    else:
+        expected = _expected_dtype(op, np.dtype(DTYPES[dtype]), unary=False)
+    out = _vector_result(op, DTYPES[dtype], unary=False)
+    assert np.asarray(out).dtype == expected, (op, dtype, np.asarray(out).dtype)
+
+
+@pytest.mark.parametrize("dtype", sorted(DTYPES))
+@pytest.mark.parametrize("op", sorted(_UNOPS))
+def test_unop_dtype_vector(op, dtype):
+    expected = _expected_dtype(op, np.dtype(DTYPES[dtype]), unary=True)
+    out = _vector_result(op, DTYPES[dtype], unary=True)
+    assert np.asarray(out).dtype == expected, (op, dtype, np.asarray(out).dtype)
+
+
+@pytest.mark.parametrize("dtype", sorted(DTYPES))
+@pytest.mark.parametrize("op", sorted(_UNOPS))
+def test_unop_engines_agree_bitwise(op, dtype):
+    ref = np.asarray(_scalar_result(op, DTYPES[dtype], unary=True))
+    got = np.asarray(_vector_result(op, DTYPES[dtype], unary=True))[0]
+    got = np.asarray(got)
+    assert ref.dtype == got.dtype
+    assert ref.tobytes() == got.tobytes()

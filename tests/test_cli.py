@@ -70,6 +70,13 @@ class TestRun:
         )
         assert code == 0
 
+    def test_run_exec_engines_agree(self, capsys):
+        _, a = run(capsys, "run", "matmul", "--size", "n=3,m=4",
+                   "--exec", "scalar")
+        _, b = run(capsys, "run", "matmul", "--size", "n=3,m=4",
+                   "--exec", "vector")
+        assert a == b  # printed heads are bit-identical
+
 
 class TestSimulate:
     def test_simulate(self, capsys):
@@ -223,3 +230,18 @@ class TestCheck:
     def test_check_unknown_program(self):
         with pytest.raises(SystemExit):
             main(["check", "not-a-benchmark"])
+
+    def test_check_exec_vector_only(self, capsys):
+        code, out = run(capsys, "check", "matmul", "--exec", "vector")
+        assert code == 0
+        assert "check: ok" in out
+
+    def test_check_fuzz_corpus_out(self, capsys, tmp_path):
+        # a clean fuzz run writes no corpus entries but accepts the flag
+        corpus = tmp_path / "corpus"
+        code, _ = run(
+            capsys, "check", "matmul", "--fuzz", "--max-examples", "2",
+            "--corpus-out", str(corpus),
+        )
+        assert code == 0
+        assert not list(corpus.glob("*.json")) if corpus.exists() else True

@@ -16,7 +16,13 @@ from repro.bench.programs.optionpricing import optionpricing_sizes
 from repro.bench.programs.pathfinder import pathfinder_sizes
 from repro.bench.programs.srad import srad_sizes
 
-__all__ = ["TABLE1", "table1_sizes", "LOCVOLCALIB_DATASETS", "FIG2_SWEEP"]
+__all__ = [
+    "TABLE1",
+    "table1_sizes",
+    "training_datasets",
+    "LOCVOLCALIB_DATASETS",
+    "FIG2_SWEEP",
+]
 
 #: Table 1 — benchmark -> {D1, D2} -> human-readable description
 TABLE1: dict[str, dict[str, str]] = {
@@ -69,6 +75,29 @@ _SIZE_FNS = {
 def table1_sizes(benchmark: str, dataset: str) -> dict[str, int]:
     """Concrete size assignment for a Table 1 benchmark/dataset."""
     return _SIZE_FNS[benchmark](dataset)
+
+
+def training_datasets(name: str) -> list[dict[str, int]]:
+    """Built-in training datasets for any benchmark (case-insensitive).
+
+    Table 1 benchmarks get their D1/D2 pair, matmul a small Fig. 2 sweep,
+    LocVolCalib the small+medium §5.2 datasets.  Raises :class:`ValueError`
+    for an unknown benchmark — used by ``repro profile``/``repro tune`` and
+    the chaos differential (:mod:`repro.check.chaos`).
+    """
+    from repro.bench.programs.locvolcalib import locvolcalib_sizes
+
+    low = name.lower()
+    for key in TABLE1:
+        if key.lower() == low:
+            return [table1_sizes(key, d) for d in TABLE1[key]]
+    if low == "matmul":
+        return [matmul_sizes(e, 20) for e in (2, 6, 10)]
+    if low == "locvolcalib":
+        return [locvolcalib_sizes(n) for n in ("small", "medium")]
+    raise ValueError(
+        f"no built-in datasets for {name!r}: pass --dataset n=...,m=..."
+    )
 
 
 #: §5.2 LocVolCalib datasets

@@ -42,6 +42,9 @@ _LAZY = {
     "run_fuzz": "repro.check.fuzz",
     "check_recipe": "repro.check.fuzz",
     "load_corpus": "repro.check.fuzz",
+    "chaos_tune_check": "repro.check.chaos",
+    "chaos_plan": "repro.check.chaos",
+    "ChaosReport": "repro.check.chaos",
 }
 
 __all__ = sorted(_LAZY)

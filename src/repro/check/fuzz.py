@@ -181,7 +181,9 @@ def run_fuzz(
                 directory = Path(corpus_dir)
                 directory.mkdir(parents=True, exist_ok=True)
                 path = directory / f"fuzz_{seed}_{i}.json"
-                path.write_text(json.dumps(failure.corpus_entry(), indent=2) + "\n")
+                from repro.ioutil import atomic_write_json
+
+                atomic_write_json(str(path), failure.corpus_entry(), indent=2)
         if on_example is not None:
             on_example(i, ok)
     return report

@@ -15,17 +15,25 @@ Commands
   model; with ``--exec`` also execute the program with that engine and
   report the measured wall time alongside the modeled time.
 * ``tune PROG --dataset n=...,m=... [--dataset ...] [--device D]
-  [--technique bandit|random|hillclimb|exhaustive]`` — autotune thresholds.
+  [--technique bandit|random|hillclimb|exhaustive] [--workers N]
+  [--batch-size B] [--time-budget S] [--proposal-timeout S] [--retries N]
+  [--backoff S] [--checkpoint-every N] [--resume]`` — autotune
+  thresholds.  With ``--output`` the run checkpoints its measurements to
+  ``<output>.ckpt.json`` every N proposals; after a crash or kill,
+  ``--resume`` replays the checkpoint to the bit-identical result an
+  uninterrupted run produces (``docs/robustness.md``).
 * ``figures [NAMES...]`` — regenerate the paper's tables (fig2, fig7, fig8,
   ablation, code, autotuner-free).
 * ``check [PROGS...] [--fuzz] [--max-examples N] [--report out.json]
-  [--exec scalar|vector|both]`` — differential correctness harness:
-  validate the IR after every pass and assert every forced code-version
-  path computes bit-identical results to the source interpreter, under
-  the selected executor(s) (default: both); ``--fuzz`` additionally
-  checks N generated programs (``--corpus-out DIR`` writes shrunk
-  counterexamples as ``tests/corpus/``-format files).  Exits nonzero on
-  any failure.
+  [--exec scalar|vector|both] [--chaos]`` — differential correctness
+  harness: validate the IR after every pass and assert every forced
+  code-version path computes bit-identical results to the source
+  interpreter, under the selected executor(s) (default: both); ``--fuzz``
+  additionally checks N generated programs (``--corpus-out DIR`` writes
+  shrunk counterexamples as ``tests/corpus/``-format files); ``--chaos``
+  additionally runs the chaos differential — tuning and forced-path
+  results under a recoverable injected-fault schedule must be
+  bit-identical to fault-free runs.  Exits nonzero on any failure.
 * ``profile PROG [--trace out.json] [--proposals N]`` — run the whole
   pipeline (parse → passes → flatten → codegen → tune → simulate) under
   the span tracer and print an aggregated summary; ``--trace`` writes a
@@ -34,6 +42,16 @@ Commands
 
 ``show``, ``simulate``, ``tune`` and ``check`` also accept
 ``--trace out.json`` to capture a trace of that command.
+
+``run``, ``simulate``, ``tune``, ``check`` and ``profile`` accept
+``--faults PLAN`` (a fault-plan JSON file or inline JSON; also settable
+via the ``REPRO_FAULTS`` environment variable) to run under seeded fault
+injection — see ``docs/robustness.md`` for the fault model, sites and
+plan format.
+
+Exit codes: 0 success, 1 check/run failure, 2 user error (unknown
+program, malformed file, device mismatch, ...) reported as a single
+``repro: error: ...`` line on stderr.
 """
 
 from __future__ import annotations
@@ -44,7 +62,15 @@ import sys
 
 import numpy as np
 
-__all__ = ["main"]
+__all__ = ["main", "UserError"]
+
+
+class UserError(Exception):
+    """A problem with what the user asked for (bad program name, malformed
+    file, mismatched device, ...).  :func:`main` reports these as a single
+    line on stderr and exit code 2 — the same code argparse uses for bad
+    flags — distinguishing them from check failures (1) and crashes."""
+
 
 _DEVICES = None
 
@@ -79,7 +105,7 @@ def _resolve_program(name: str):
 
         with open(name) as fh:
             return parse_program(fh.read())
-    raise SystemExit(
+    raise UserError(
         f"unknown program {name!r}: not a built-in benchmark "
         f"({', '.join(progs)}) and not a file"
     )
@@ -93,9 +119,25 @@ def _parse_kv(items: list[str] | None) -> dict[str, int]:
                 continue
             k, _, v_ = part.partition("=")
             if not _:
-                raise SystemExit(f"expected key=value, got {part!r}")
-            out[k.strip()] = int(v_)
+                raise UserError(f"expected key=value, got {part!r}")
+            try:
+                out[k.strip()] = int(v_)
+            except ValueError:
+                raise UserError(
+                    f"expected an integer value in {part!r}"
+                ) from None
     return out
+
+
+def _check_sizes(prog, sizes: dict[str, int], flag: str = "--size") -> None:
+    """User-supplied size bindings must cover the program's size variables
+    (extras are allowed: scalar parameters are bound the same way)."""
+    missing = sorted(prog.size_vars() - sizes.keys())
+    if missing:
+        raise UserError(
+            f"{prog.name} needs {flag} value(s) for "
+            f"{', '.join(missing)} (got: {', '.join(sorted(sizes)) or 'none'})"
+        )
 
 
 def _random_inputs(prog, sizes: dict[str, int], seed: int):
@@ -155,6 +197,7 @@ def cmd_run(args) -> int:
 
     prog = _resolve_program(args.program)
     sizes = _parse_kv(args.size)
+    _check_sizes(prog, sizes)
     cp = compile_program(prog, args.mode)
     inputs = _random_inputs(prog, sizes, args.seed)
     th = _parse_kv(args.threshold)
@@ -170,10 +213,12 @@ def cmd_run(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from repro import faults
     from repro.compiler import compile_program
 
     prog = _resolve_program(args.program)
     sizes = _parse_kv(args.size)
+    _check_sizes(prog, sizes)
     device = _devices()[args.device]
     cp = compile_program(prog, args.mode)
     th = _parse_kv(args.threshold)
@@ -181,7 +226,12 @@ def cmd_simulate(args) -> int:
         from repro.tuning import load_thresholds
 
         th = dict(load_thresholds(args.tuning, cp, device=device.name), **th)
-    rep = cp.simulate(sizes, device, thresholds=th or None)
+    # self-heal transient injected faults like the executors do (the tuner
+    # has its own retry so it can account and quarantine; a bare simulate
+    # has nothing above it to recover) — deterministic faults propagate
+    rep = faults.retrying(
+        "cli.simulate", lambda: cp.simulate(sizes, device, thresholds=th or None)
+    )
     print(
         f"{prog.name} on {device.name}: {rep.time*1e3:.4f} ms "
         f"({rep.num_kernels} kernels, {rep.total_gbytes/1e6:.2f} MB global "
@@ -207,24 +257,78 @@ def cmd_simulate(args) -> int:
 def cmd_tune(args) -> int:
     from repro.compiler import compile_program
     from repro.tuning import Autotuner, exhaustive_tune
+    from repro.tuning import persist
 
     prog = _resolve_program(args.program)
     datasets = [_parse_kv([d]) for d in args.dataset]
+    for ds in datasets:
+        _check_sizes(prog, ds, flag="--dataset")
     if not datasets:
-        raise SystemExit("tune needs at least one --dataset n=...,m=...")
+        if args.resume or args.output:
+            try:
+                from repro.bench.datasets import training_datasets
+
+                datasets = training_datasets(prog.name)
+            except ValueError:
+                raise UserError(
+                    "tune needs at least one --dataset n=...,m=..."
+                ) from None
+        else:
+            raise UserError("tune needs at least one --dataset n=...,m=...")
     device = _devices()[args.device]
     cp = compile_program(prog, "incremental")
     if args.technique == "exhaustive":
         res = exhaustive_tune(cp, datasets, device)
+        ckpt = None
     else:
-        tuner = Autotuner(cp, datasets, device, seed=args.seed)
-        res = tuner.tune(max_proposals=args.proposals, technique=args.technique)
+        # crash-safe search: checkpoint beside the output file (atomic
+        # temp-file+rename), delete it once the results are fully written
+        ckpt = persist.checkpoint_path(args.output) if args.output else None
+        if args.resume:
+            if ckpt is None or not os.path.exists(ckpt):
+                raise UserError(
+                    f"--resume needs a checkpoint at "
+                    f"{ckpt or '<--output>.ckpt.json'} (none found)"
+                )
+            doc = persist.load_checkpoint(
+                ckpt, cp, device=device.name, datasets=datasets
+            )
+            tuner = Autotuner(cp, datasets, device, seed=doc["seed"])
+            tuner.preload_measurements(doc["measurements"], doc["quarantined"])
+            print(
+                f"resuming from {ckpt}: {doc['proposals_done']} proposals "
+                f"checkpointed, "
+                f"{sum(len(m) for m in doc['measurements'])} measurements"
+            )
+        else:
+            tuner = Autotuner(cp, datasets, device, seed=args.seed)
+        res = tuner.tune(
+            max_proposals=args.proposals,
+            technique=args.technique,
+            time_budget_s=args.time_budget,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            proposal_timeout_s=args.proposal_timeout,
+            retries=args.retries,
+            backoff_s=args.backoff,
+            checkpoint_path=ckpt,
+            checkpoint_every=args.checkpoint_every,
+        )
     print(f"best thresholds: {res.best_thresholds}")
     print(
         f"cost {res.best_cost*1e3:.4f} ms over {len(datasets)} dataset(s); "
         f"{res.simulations} simulations, {res.cache_hits} cache hits "
         f"(dedup {res.dedup_ratio:.0%})"
     )
+    retries = getattr(res, "retries", 0)
+    quarantined = getattr(res, "quarantined", [])
+    if retries or quarantined:
+        print(
+            f"robustness: {retries} transient-fault retries, "
+            f"{len(quarantined)} configuration(s) quarantined"
+        )
+        for cfg, reason in quarantined:
+            print(f"  quarantined {cfg}: {reason}")
     if args.output:
         from repro.tuning import save_telemetry, save_thresholds, telemetry_path
 
@@ -237,6 +341,8 @@ def cmd_tune(args) -> int:
             tpath = telemetry_path(args.output)
             save_telemetry(tpath, res, cp, device=device.name)
             print(f"wrote {tpath}")
+        if ckpt is not None and os.path.exists(ckpt):
+            os.unlink(ckpt)
     return 0
 
 
@@ -290,21 +396,12 @@ def cmd_figures(args) -> int:
 
 def _default_datasets(name: str) -> list[dict[str, int]]:
     """Built-in training datasets for a benchmark (profile convenience)."""
-    from repro.bench.datasets import TABLE1, table1_sizes
-    from repro.bench.programs.locvolcalib import locvolcalib_sizes
-    from repro.bench.programs.matmul import matmul_sizes
+    from repro.bench.datasets import training_datasets
 
-    low = name.lower()
-    for key in TABLE1:
-        if key.lower() == low:
-            return [table1_sizes(key, d) for d in TABLE1[key]]
-    if low == "matmul":
-        return [matmul_sizes(e, 20) for e in (2, 6, 10)]
-    if low == "locvolcalib":
-        return [locvolcalib_sizes(n) for n in ("small", "medium")]
-    raise SystemExit(
-        f"no built-in datasets for {name!r}: pass --dataset n=...,m=..."
-    )
+    try:
+        return training_datasets(name)
+    except ValueError as exc:
+        raise UserError(str(exc)) from None
 
 
 def cmd_profile(args) -> int:
@@ -318,6 +415,8 @@ def cmd_profile(args) -> int:
     datasets = [_parse_kv([d]) for d in args.dataset] or _default_datasets(
         prog.name
     )
+    for ds in datasets:
+        _check_sizes(prog, ds, flag="--dataset")
     device = _devices()[args.device]
 
     cp = compile_program(prog, args.mode)
@@ -381,7 +480,7 @@ def cmd_check(args) -> int:
             reports = check_all(names, modes=modes, seed=args.seed,
                                 max_paths=args.max_paths, engines=engines)
         except KeyError as ex:
-            raise SystemExit(ex.args[0]) from None
+            raise UserError(ex.args[0]) from None
         ok = True
         for rep in reports:
             status = "ok" if rep.ok else "FAIL"
@@ -419,9 +518,35 @@ def cmd_check(args) -> int:
                     print(f"  fuzz FAIL (example {f.index}): {f.error}")
                     print(f"    shrunk recipe: {json.dumps(f.shrunk)}")
 
+        if args.chaos:
+            from repro.check.chaos import chaos_tune_check
+
+            try:
+                chaos_reports = chaos_tune_check(
+                    args.programs or None, seed=args.seed
+                )
+            except KeyError as ex:
+                raise UserError(ex.args[0]) from None
+            doc["chaos"] = [r.to_json() for r in chaos_reports]
+            for crep in chaos_reports:
+                status = "ok" if crep.ok else "FAIL"
+                legs = " ".join(
+                    f"{leg.name}={'ok' if leg.ok else 'FAIL'}"
+                    for leg in crep.legs
+                )
+                print(f"  chaos {crep.program:15} seed {crep.seed}: "
+                      f"{legs}  {status}")
+                if not crep.ok:
+                    ok = False
+                    doc["ok"] = False
+                    for leg in crep.legs:
+                        if not leg.ok and leg.detail:
+                            print(f"    {leg.name}: {leg.detail}")
+
         if args.report:
-            with open(args.report, "w") as fh:
-                json.dump(doc, fh, indent=2)
+            from repro.ioutil import atomic_write_json
+
+            atomic_write_json(args.report, doc, indent=2)
             print(f"wrote {args.report}")
         print("check:", "ok" if ok else "FAILED")
         return 0 if ok else 1
@@ -455,6 +580,8 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--seed", type=int, default=0)
     rp.add_argument("--exec", default=None, choices=("scalar", "vector"),
                     help="executor (default: REPRO_EXEC or scalar)")
+    rp.add_argument("--faults", metavar="PLAN",
+                    help="inject faults from a plan (JSON file or inline)")
 
     mp = sub.add_parser("simulate", help="estimate run time on a device model")
     mp.add_argument("program")
@@ -467,17 +594,43 @@ def build_parser() -> argparse.ArgumentParser:
     mp.add_argument("--tuning", help="read thresholds from a .tuning file")
     mp.add_argument("--exec", default=None, choices=("scalar", "vector"),
                     help="also execute with this engine and report wall time")
+    mp.add_argument("--faults", metavar="PLAN",
+                    help="inject faults from a plan (JSON file or inline)")
     mp.add_argument("--trace", help="write a Chrome-trace JSON file")
 
     tp = sub.add_parser("tune", help="autotune thresholds")
     tp.add_argument("program")
     tp.add_argument("--dataset", action="append", default=[],
-                    help="one dataset: n=4096,m=32 (repeatable)")
+                    help="one dataset: n=4096,m=32 (repeatable; with "
+                    "--output/--resume defaults to the benchmark's "
+                    "built-in training datasets)")
     tp.add_argument("--device", default="K40", choices=("K40", "Vega64"))
     tp.add_argument("--technique", default="bandit",
                     choices=("bandit", "random", "hillclimb", "exhaustive"))
     tp.add_argument("--proposals", type=int, default=300)
     tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--workers", type=int, default=1,
+                    help="evaluate proposals in N worker processes")
+    tp.add_argument("--batch-size", type=int, default=1,
+                    help="proposals per evaluation batch")
+    tp.add_argument("--time-budget", type=float, default=None, metavar="S",
+                    help="wall-clock budget for the search (seconds)")
+    tp.add_argument("--proposal-timeout", type=float, default=None,
+                    metavar="S", help="watchdog deadline per proposal "
+                    "(a timeout counts as a transient fault)")
+    tp.add_argument("--retries", type=int, default=None,
+                    help="transient-fault retries per proposal "
+                    "(default: the fault plan's policy, or 8)")
+    tp.add_argument("--backoff", type=float, default=None, metavar="S",
+                    help="base retry backoff in seconds (doubles per attempt)")
+    tp.add_argument("--checkpoint-every", type=int, default=10, metavar="N",
+                    help="checkpoint the search every N proposals "
+                    "(needs --output; see docs/robustness.md)")
+    tp.add_argument("--resume", action="store_true",
+                    help="resume from <--output>.ckpt.json, replaying the "
+                    "checkpointed run to a bit-identical result")
+    tp.add_argument("--faults", metavar="PLAN",
+                    help="inject faults from a plan (JSON file or inline)")
     tp.add_argument("--output", help="write a .tuning JSON file "
                     "(+ a .telemetry.json convergence file)")
     tp.add_argument("--trace", help="write a Chrome-trace JSON file")
@@ -507,6 +660,12 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--corpus-out", default=None, metavar="DIR",
                     help="write shrunk fuzz counterexamples to DIR "
                     "(tests/corpus/ format)")
+    cp.add_argument("--chaos", action="store_true",
+                    help="also run the chaos differential: tuning and "
+                    "forced paths under injected faults must produce "
+                    "bit-identical results (docs/robustness.md)")
+    cp.add_argument("--faults", metavar="PLAN",
+                    help="inject faults from a plan (JSON file or inline)")
     cp.add_argument("--report", help="write a JSON report to this file")
     cp.add_argument("--trace", help="write a Chrome-trace JSON file")
 
@@ -526,12 +685,15 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--exec", default=None, choices=("scalar", "vector"),
                     help="also execute the program with this engine under "
                     "the tracer (adds exec.* spans and counters)")
+    pp.add_argument("--faults", metavar="PLAN",
+                    help="inject faults from a plan (JSON file or inline)")
     pp.add_argument("--trace", help="write a Chrome-trace JSON file")
     return p
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _run_command(args) -> int:
+    from repro import faults
+
     handler = {
         "list": cmd_list,
         "show": cmd_show,
@@ -542,17 +704,53 @@ def main(argv: list[str] | None = None) -> int:
         "check": cmd_check,
         "profile": cmd_profile,
     }[args.command]
-    trace_path = getattr(args, "trace", None)
-    if trace_path or args.command == "profile":
-        from repro import obs
+    # fault injection: --faults wins over REPRO_FAULTS; the previous
+    # injector is restored afterwards so in-process callers (tests) do
+    # not leak an active plan between invocations
+    saved = faults.current()
+    try:
+        plan_src = getattr(args, "faults", None)
+        try:
+            if plan_src:
+                faults.activate(faults.load_plan(plan_src))
+            else:
+                faults.activate_from_env()
+        except faults.FaultPlanError as exc:
+            raise UserError(str(exc)) from None
 
-        with obs.tracing(process_name=f"repro {args.command}") as tracer:
-            code = handler(args)
-        if trace_path:
-            obs.write_chrome_trace(tracer, trace_path)
-            print(f"wrote {trace_path}")
-        return code
-    return handler(args)
+        trace_path = getattr(args, "trace", None)
+        if trace_path or args.command == "profile":
+            from repro import obs
+
+            with obs.tracing(process_name=f"repro {args.command}") as tracer:
+                code = handler(args)
+            if trace_path:
+                obs.write_chrome_trace(tracer, trace_path)
+                print(f"wrote {trace_path}")
+            return code
+        return handler(args)
+    finally:
+        if saved is not None:
+            faults.activate(saved.plan)
+        else:
+            faults.deactivate()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run_command(args)
+    except UserError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:
+        from repro.tuning.persist import TuningFileError
+
+        # malformed/mismatched user-supplied files are user errors too
+        if isinstance(exc, TuningFileError):
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":

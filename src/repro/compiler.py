@@ -84,6 +84,15 @@ class CompiledProgram:
         """
         cache = sim_kwargs.pop("cache", None)
         use_memo = perf.caching_enabled() if cache is None else bool(cache)
+        if use_memo:
+            # fault injection must see every simulated launch: a memo hit
+            # would skip the simulator (and its sim.kernel fault site)
+            # entirely, so an active plan bypasses the memo — same rule as
+            # the kernel-cost cache, which is consulted only after the
+            # injection check
+            from repro import faults
+
+            use_memo = not faults.enabled()
         key = None
         if use_memo:
             key = (

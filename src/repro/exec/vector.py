@@ -40,7 +40,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from repro import perf
+from repro import faults, perf
 from repro.interp import intrinsics
 from repro.interp.evaluator import (
     _BINOPS,
@@ -363,16 +363,16 @@ class VectorEvaluator:
         if isinstance(e, S.Intrinsic):
             return self._c_intrinsic(e, bv)
         if isinstance(e, T.SegMap):
-            return self._guarded(
+            return self._fault_guarded(self._guarded(
                 e, bv,
                 lambda: len(self._compile(e.body, frozenset())[1]),
                 lambda: self._c_segmap(e, bv),
-            )
+            ))
         if isinstance(e, (T.SegRed, T.SegScan)):
-            return self._guarded(
+            return self._fault_guarded(self._guarded(
                 e, bv, lambda: len(e.nes),
                 lambda: self._c_segfold(e, bv, scan=isinstance(e, T.SegScan)),
-            )
+            ))
         raise InterpError(f"cannot evaluate {type(e).__name__}")
 
     # -- scalar-shaped nodes --------------------------------------------------
@@ -591,6 +591,19 @@ class VectorEvaluator:
         return fn, (False,)
 
     # -- per-lane scalar fallback ---------------------------------------------
+
+    @staticmethod
+    def _fault_guarded(compiled):
+        """Wrap a compiled seg-op closure (a "kernel launch") with the fault
+        boundary: checked at *call* time — compiled closures are cached, so
+        a plan activated after compilation still injects — with bounded
+        transient retry via the plan's policy.  No-op without an active plan."""
+        fn, flags = compiled
+
+        def guarded(env, n):
+            return faults.retrying("exec.kernel", lambda: fn(env, n))
+
+        return guarded, flags
 
     def _guarded(self, e: S.Exp, bv, arity_fn, compile_fn):
         """Compile via ``compile_fn``; on :class:`_NeedsFallback` (a nested

@@ -32,7 +32,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
-from repro import perf
+from repro import faults, perf
 from repro.obs import trace as obs
 from repro.gpu.device import DeviceSpec
 from repro.gpu.report import Chain, CostReport, KernelStats
@@ -502,6 +502,24 @@ class Simulator:
 
     def _kernel(self, op: T.SegOp, env: dict[str, AVal], rep: CostReport):
         """Price one host-level kernel launch (span-traced when tracing)."""
+        if faults.enabled():
+            # Checked before any cache consult so an injected fault can never
+            # poison the kernel-cost cache.  Deterministic kinds (oom) key on
+            # the kernel identity plus the thresholds it observed, so the same
+            # configuration fails identically on every attempt — the property
+            # tuner quarantine relies on.
+            meta = _op_meta(op)
+            faults.check(
+                "sim.kernel",
+                key=(
+                    type(op).__name__,
+                    op.level,
+                    tuple(
+                        self.thresholds.get(t, DEFAULT_THRESHOLD)
+                        for t in meta.thresholds
+                    ),
+                ),
+            )
         tracer = obs.current()
         if tracer is None:
             if not self.cache:

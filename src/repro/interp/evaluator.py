@@ -19,6 +19,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import faults
 from repro.interp import intrinsics
 from repro.interp.values import Value, to_dtype
 from repro.ir import source as S
@@ -251,11 +252,19 @@ class Evaluator:
             out = defn.interp(*args)
             return out if isinstance(out, tuple) else (out,)
         if isinstance(e, T.SegMap):
-            return self._eval_segmap(e, env)
+            # seg-ops are the interpreter's "kernel launches": fault-checked
+            # with bounded transient retry (no-op when no plan is active)
+            return faults.retrying(
+                "interp.kernel", lambda: self._eval_segmap(e, env)
+            )
         if isinstance(e, T.SegRed):
-            return self._eval_segred(e, env)
+            return faults.retrying(
+                "interp.kernel", lambda: self._eval_segred(e, env)
+            )
         if isinstance(e, T.SegScan):
-            return self._eval_segscan(e, env)
+            return faults.retrying(
+                "interp.kernel", lambda: self._eval_segscan(e, env)
+            )
         if isinstance(e, T.ParCmp):
             par = e.par.eval(self.sizes)
             t = self.thresholds.get(e.threshold, DEFAULT_THRESHOLD)

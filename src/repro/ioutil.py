@@ -1,0 +1,45 @@
+"""Crash-safe file writes (temp file + ``os.replace``).
+
+Every persistence writer in the repo goes through these helpers so that a
+mid-write kill (power loss, ``kill -9``, an injected ``process_kill``
+fault) can never leave a truncated or interleaved file behind: either the
+old content survives intact or the new content is fully visible.  The
+payload is written to a sibling temp file in the destination directory
+(same filesystem, so the rename is atomic), flushed and fsynced, then
+renamed over the target; the temp file is unlinked on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically replace ``path``'s content with ``text``."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, doc, **dump_kwargs) -> None:
+    """Atomically write ``doc`` as JSON (serialised before any file I/O,
+    so a serialisation error leaves the target untouched)."""
+    atomic_write_text(path, json.dumps(doc, **dump_kwargs) + "\n")

@@ -86,6 +86,8 @@ def dump_chrome(tracer: Tracer, fh: IO[str]) -> None:
 
 
 def write_chrome_trace(tracer: Tracer, path: str) -> None:
-    """Write the trace to ``path`` as Chrome-trace JSON."""
-    with open(path, "w") as fh:
-        dump_chrome(tracer, fh)
+    """Write the trace to ``path`` as Chrome-trace JSON (crash-safe: the
+    file is replaced atomically, never left truncated)."""
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(path, to_chrome(tracer), indent=1)

@@ -5,7 +5,10 @@ from repro.tuning.params import LogIntegerParameter, ParameterSpace
 from repro.tuning.persist import (
     TuningFileError,
     branching_tree_hash,
+    checkpoint_path,
+    load_checkpoint,
     load_thresholds,
+    save_checkpoint,
     save_telemetry,
     save_thresholds,
     telemetry_path,
@@ -30,7 +33,10 @@ __all__ = [
     "exhaustive_tune",
     "TuningFileError",
     "branching_tree_hash",
+    "checkpoint_path",
+    "load_checkpoint",
     "load_thresholds",
+    "save_checkpoint",
     "save_thresholds",
     "save_telemetry",
     "telemetry_path",

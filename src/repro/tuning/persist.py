@@ -4,27 +4,42 @@ The artifact workflow tunes once and reuses the thresholds across runs;
 this module stores an assignment together with enough metadata to detect
 stale files (program name, threshold list, a hash of the compiled program's
 branching tree, device, training datasets).
+
+Every writer here is crash-safe: documents go through
+:func:`repro.ioutil.atomic_write_json` (temp file + ``os.replace``), so a
+mid-write kill never leaves a corrupt ``.tuning`` / telemetry / checkpoint
+file — either the old content survives or the new one is fully visible.
+
+Checkpoints (``<tuning>.ckpt.json``, see :func:`save_checkpoint`) record a
+crashed-or-killed tuning run's measurements so ``repro tune --resume`` can
+replay them and continue, reproducing the bit-identical result an
+uninterrupted run would have given (``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.compiler import CompiledProgram
 from repro.flatten import render_tree
+from repro.ioutil import atomic_write_json
 
 __all__ = [
     "save_thresholds",
     "load_thresholds",
     "save_telemetry",
     "telemetry_path",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_path",
     "branching_tree_hash",
     "TuningFileError",
 ]
 
 _FORMAT = 1
+_CKPT_FORMAT = 1
 
 
 class TuningFileError(Exception):
@@ -67,9 +82,7 @@ def save_thresholds(
         "branching_tree": branching_tree_hash(compiled),
         "datasets": datasets or [],
     }
-    with open(path, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(path, doc, indent=2, sort_keys=True)
 
 
 def load_thresholds(
@@ -141,6 +154,128 @@ def save_telemetry(
         doc["branching_tree"] = branching_tree_hash(compiled)
     if device:
         doc["device"] = device
-    with open(path, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(path, doc, indent=2, sort_keys=True)
+
+
+# -- crash-safe tuning checkpoints ---------------------------------------------
+
+
+def checkpoint_path(tuning_path: str) -> str:
+    """Where a tuning run checkpoints its state while searching."""
+    return tuning_path + ".ckpt.json"
+
+
+def _encode_sig(sig) -> list:
+    # path signatures are tuples of (threshold name, decision) pairs
+    return [[name, bool(taken)] for name, taken in sig]
+
+
+def _decode_sig(doc) -> tuple:
+    return tuple((str(name), bool(taken)) for name, taken in doc)
+
+
+def save_checkpoint(
+    path: str,
+    tuner,
+    proposals_done: int,
+    best_thresholds: Mapping[str, int] | None,
+    best_cost: float | None,
+) -> None:
+    """Atomically persist a tuning run's recoverable state.
+
+    The checkpoint holds everything a resumed run cannot recompute from
+    the seed alone: the per-dataset *measurements* (path signature →
+    observed time — on real hardware these are irreproducible
+    observations) and the quarantine set.  Proposal order, technique state
+    and cache accounting are deterministic functions of the seed, so
+    ``--resume`` replays the search from proposal 0 against these recorded
+    measurements and lands, bit-identically, where an uninterrupted run
+    would have (see ``docs/robustness.md``).
+    """
+    doc = {
+        "kind": "tuning-checkpoint",
+        "format": _CKPT_FORMAT,
+        "program": tuner.compiled.prog.name,
+        "branching_tree": branching_tree_hash(tuner.compiled),
+        "device": tuner.device.name,
+        "seed": tuner.seed,
+        "noise": tuner.noise,
+        "datasets": [dict(d) for d in tuner.datasets],
+        "proposals_done": proposals_done,
+        "best_cost": (
+            None if best_cost is None or best_cost != best_cost
+            or best_cost in (float("inf"), float("-inf")) else best_cost
+        ),
+        "best_thresholds": dict(best_thresholds) if best_thresholds else None,
+        "measurements": [
+            [[_encode_sig(sig), t] for sig, t in cache.items()]
+            for cache in tuner.measurements()
+        ],
+        "quarantined": [
+            [dict(cfg), reason] for cfg, reason in tuner.quarantine_list()
+        ],
+    }
+    atomic_write_json(path, doc, indent=2, sort_keys=True)
+
+
+def load_checkpoint(
+    path: str,
+    compiled: CompiledProgram | None = None,
+    device: str | None = None,
+    datasets: Sequence[Mapping[str, int]] | None = None,
+) -> dict:
+    """Read a tuning checkpoint, verifying it matches the resumed run.
+
+    Returns the decoded document with ``measurements`` as a list (one per
+    dataset) of ``{signature: time}`` dicts ready for
+    :meth:`~repro.tuning.tuner.Autotuner.preload_measurements`.  Raises
+    :class:`TuningFileError` on a malformed file or on any mismatch
+    (program, branching tree, device, training datasets) — resuming a
+    checkpoint from a different search would silently corrupt the result.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise TuningFileError(f"cannot read checkpoint {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise TuningFileError(f"{path}: not a checkpoint file ({exc})") from None
+    if doc.get("kind") != "tuning-checkpoint":
+        raise TuningFileError(f"{path}: not a tuning checkpoint")
+    if doc.get("format") != _CKPT_FORMAT:
+        raise TuningFileError(
+            f"{path}: unsupported checkpoint format {doc.get('format')}"
+        )
+    if compiled is not None:
+        if doc.get("program") != compiled.prog.name:
+            raise TuningFileError(
+                f"{path}: checkpoint is for program {doc.get('program')!r}, "
+                f"not {compiled.prog.name!r}"
+            )
+        if doc.get("branching_tree") != branching_tree_hash(compiled):
+            raise TuningFileError(
+                f"{path}: branching tree differs from the compiled program "
+                f"(stale checkpoint?)"
+            )
+    if device and doc.get("device") and doc["device"] != device:
+        raise TuningFileError(
+            f"{path}: checkpoint is for device {doc['device']!r}, not {device!r}"
+        )
+    if datasets is not None:
+        stored = [dict(d) for d in doc.get("datasets", [])]
+        if stored != [dict(d) for d in datasets]:
+            raise TuningFileError(
+                f"{path}: training datasets differ from the checkpointed run"
+            )
+    try:
+        doc["measurements"] = [
+            {_decode_sig(sig): float(t) for sig, t in entries}
+            for entries in doc.get("measurements", [])
+        ]
+        doc["quarantined"] = [
+            ({str(k): int(v) for k, v in cfg.items()}, str(reason))
+            for cfg, reason in doc.get("quarantined", [])
+        ]
+    except (TypeError, ValueError) as exc:
+        raise TuningFileError(f"{path}: malformed checkpoint ({exc})") from None
+    return doc

@@ -22,17 +22,24 @@ contents.
 
 from __future__ import annotations
 
+import concurrent.futures
+import math
 import random
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
-from repro import perf
+from repro import faults, perf
 from repro.obs import trace as obs
 from repro.compiler import CompiledProgram
 from repro.gpu.device import DeviceSpec
 from repro.tuning.params import ParameterSpace
 from repro.tuning.search import make_technique
 from repro.tuning.tree import SignatureEngine
+
+#: failure-aware score of a configuration that could not be measured
+#: (quarantined or out of retry budget) — never improves on any real cost
+PENALTY_COST = float("inf")
 
 __all__ = ["Autotuner", "TuningResult"]
 
@@ -61,6 +68,10 @@ class TuningResult:
     full_history: list[tuple[dict[str, int], float]] = field(default_factory=list)
     #: per dataset: path signature -> number of evaluations that took it
     path_counts: list[dict[Sig, int]] = field(default_factory=list)
+    #: transient-fault retries performed while measuring (master + workers)
+    retries: int = 0
+    #: configurations that failed deterministically: (thresholds, reason)
+    quarantined: list[tuple[dict[str, int], str]] = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -76,17 +87,17 @@ class TuningResult:
         :func:`repro.tuning.persist.save_telemetry`).
         """
         names = sorted({n for cfg, _ in self.full_history for n in cfg})
-        return {
+        doc = {
             "kind": "tuning-telemetry",
             "format": 1,
             "proposals": self.proposals,
             "simulations": self.simulations,
             "cache_hits": self.cache_hits,
             "dedup_ratio": self.dedup_ratio,
-            "best_cost": self.best_cost,
+            "best_cost": _json_cost(self.best_cost),
             "best_thresholds": dict(self.best_thresholds),
-            "best_curve": [[p, c] for p, c in self.history],
-            "cost_curve": [c for _, c in self.full_history],
+            "best_curve": [[p, _json_cost(c)] for p, c in self.history],
+            "cost_curve": [_json_cost(c) for _, c in self.full_history],
             "threshold_trajectories": {
                 n: [cfg.get(n) for cfg, _ in self.full_history] for n in names
             },
@@ -96,6 +107,21 @@ class TuningResult:
             ],
             "distinct_paths": [len(pc) for pc in self.path_counts],
         }
+        # Present only when something was actually quarantined: a recovered
+        # chaos run's telemetry stays byte-identical to a fault-free run's
+        # (the chaos differential asserts exactly this).  Retries are
+        # likewise reported via perf counters, not here.
+        if self.quarantined:
+            doc["quarantined"] = [
+                [dict(cfg), reason] for cfg, reason in self.quarantined
+            ]
+        return doc
+
+
+def _json_cost(c: float) -> float | None:
+    """A cost as JSON: the penalty (``inf``) maps to null, real costs pass
+    through (``json.dumps`` would emit non-standard ``Infinity`` otherwise)."""
+    return c if math.isfinite(c) else None
 
 
 class Autotuner:
@@ -145,6 +171,16 @@ class Autotuner:
         self.path_counts: list[dict[Sig, int]] = [{} for _ in self.datasets]
         self.simulations = 0
         self.cache_hits = 0
+        self.retries = 0
+        # per-dataset: path signature -> time preloaded from a checkpoint;
+        # consulted by the robust path before simulating, so a resumed run
+        # replays recorded measurements instead of re-measuring
+        self._recorded: list[dict[Sig, float]] = [{} for _ in self.datasets]
+        # deterministically failing configurations, never re-evaluated:
+        # sorted-items key -> (thresholds, reason)
+        self._quarantine: dict[tuple, tuple[dict[str, int], str]] = {}
+        # lazy single-thread watchdog for per-proposal timeouts
+        self._watchdog: concurrent.futures.ThreadPoolExecutor | None = None
 
     # -- measurement -----------------------------------------------------------
 
@@ -210,6 +246,9 @@ class Autotuner:
         "tuner.path_cache.misses",
         "signature.cache_hits",
         "signature.cache_misses",
+        # quarantine decisions are recorded master-side (two workers may
+        # both locally quarantine the same configuration)
+        "tuner.quarantined",
     )
 
     def _merge(
@@ -264,6 +303,169 @@ class Autotuner:
         """Cost of one configuration, via the duplicate-path cache."""
         return self.cost_fn([t for _, t in self._eval(thresholds)])
 
+    # -- robustness (fault injection, retries, quarantine, resume) -------------
+
+    def measurements(self) -> list[dict[Sig, float]]:
+        """Per-dataset signature→time maps covering everything measured so
+        far, including measurements preloaded from a checkpoint — what a
+        checkpoint of *this* run must contain."""
+        return [
+            {**rec, **cache} for rec, cache in zip(self._recorded, self._cache)
+        ]
+
+    def quarantine_list(self) -> list[tuple[dict[str, int], str]]:
+        """Quarantined configurations as (thresholds, reason) pairs."""
+        return [(dict(cfg), reason) for cfg, reason in self._quarantine.values()]
+
+    def preload_measurements(
+        self,
+        measurements: Sequence[Mapping[Sig, float]],
+        quarantined: Sequence[tuple[Mapping[str, int], str]] = (),
+    ) -> None:
+        """Load recorded measurements (and quarantine decisions) from a
+        checkpoint before :meth:`tune` — the resume half of crash-safe
+        tuning.  The search itself is a deterministic function of the seed,
+        so replaying it against these measurements reproduces the original
+        run bit for bit (see ``docs/robustness.md``)."""
+        if len(measurements) != len(self.datasets):
+            raise ValueError(
+                f"checkpoint has {len(measurements)} datasets, "
+                f"tuner has {len(self.datasets)}"
+            )
+        for rec, entries in zip(self._recorded, measurements):
+            rec.update(entries)
+        for cfg, reason in quarantined:
+            self._quarantine.setdefault(
+                tuple(sorted(cfg.items())), (dict(cfg), str(reason))
+            )
+
+    def _note_quarantine(self, cfg: Mapping[str, int], reason: str) -> None:
+        """Record a deterministically failing configuration (idempotent)."""
+        key = tuple(sorted(cfg.items()))
+        if key not in self._quarantine:
+            self._quarantine[key] = (dict(cfg), reason)
+            perf.inc("tuner.quarantined")
+            obs.instant(
+                "tuner.quarantine", cat="tuner",
+                thresholds=dict(cfg), reason=reason,
+            )
+
+    def _sig_quiet(self, i: int, thresholds: Mapping[str, int]) -> Sig:
+        """Like :meth:`_signature` but with no memo writes and no perf
+        accounting — the canonical accounting is replayed by :meth:`_merge`
+        when (and only when) the evaluation commits."""
+        engine = self._engines[i]
+        if not self.cache:
+            return engine.signature(thresholds)
+        sig = self._sig_memo[i].get(engine.config_key(thresholds))
+        return sig if sig is not None else engine.signature(thresholds)
+
+    def _simulate_quiet(self, i: int, thresholds: Mapping[str, int], sig: Sig) -> float:
+        """Like :meth:`_simulate` but without the canonical simulation
+        counter (again: replayed by :meth:`_merge` on commit)."""
+        t = self.compiled.simulate(
+            self.datasets[i], self.device, thresholds=thresholds
+        ).time
+        if self.noise:
+            t *= self._noise_factor(i, sig)
+        return t
+
+    def _eval_uncounted(self, thresholds: Mapping[str, int]) -> list[tuple[Sig, float]]:
+        """Evaluate one configuration without touching tuner state.
+
+        This is the fault boundary: an injected fault aborts it with *zero*
+        committed side effects (no path counts, no cache writes, no
+        canonical counters), so a retried or abandoned proposal leaves the
+        tuner exactly as if it had never been attempted.  Successful output
+        is committed through :meth:`_merge`, which replays the canonical
+        accounting in proposal order — the same mechanism that keeps
+        parallel runs bit-identical to serial ones."""
+        out: list[tuple[Sig, float]] = []
+        for i in range(len(self.datasets)):
+            sig = self._sig_quiet(i, thresholds)
+            t = None
+            if self.cache:
+                t = self._cache[i].get(sig)
+                if t is None:
+                    t = self._recorded[i].get(sig)
+            if t is None:
+                t = self._simulate_quiet(i, thresholds, sig)
+            out.append((sig, t))
+        return out
+
+    def _timed_eval(
+        self, thresholds: Mapping[str, int], timeout_s: float | None
+    ) -> list[tuple[Sig, float]]:
+        """:meth:`_eval_uncounted` under a wall-clock watchdog.
+
+        A proposal overrunning ``timeout_s`` raises
+        :class:`~repro.faults.KernelTimeoutFault` (transient, so the retry
+        policy applies).  The overrun evaluation keeps running in its
+        watchdog thread — threads cannot be killed — so the watchdog is
+        abandoned and a fresh one is built for the next proposal; stray
+        completions only warm process-global caches, which is harmless."""
+        if timeout_s is None:
+            return self._eval_uncounted(thresholds)
+        if self._watchdog is None:
+            self._watchdog = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="tuner-watchdog"
+            )
+        fut = self._watchdog.submit(self._eval_uncounted, thresholds)
+        try:
+            return fut.result(timeout=timeout_s)
+        except concurrent.futures.TimeoutError:
+            fut.cancel()
+            self._watchdog.shutdown(wait=False)
+            self._watchdog = None
+            raise faults.KernelTimeoutFault(
+                f"proposal exceeded its {timeout_s}s deadline"
+            ) from None
+
+    def _close_watchdog(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.shutdown(wait=False)
+            self._watchdog = None
+
+    def _eval_robust(
+        self,
+        thresholds: Mapping[str, int],
+        timeout_s: float | None,
+        retry_budget: int,
+        backoff_s: float,
+    ) -> tuple[list[tuple[Sig, float]] | None, str | None]:
+        """Evaluate one configuration under the failure model.
+
+        Returns ``(out, None)`` on success or ``(None, reason)`` when the
+        configuration cannot be measured: deterministic faults fail
+        immediately (same configuration, same fault — retrying is wasted
+        work), transient faults (injected, or a watchdog timeout) are
+        retried up to ``retry_budget`` times with exponential backoff.
+        The caller scores failures with :data:`PENALTY_COST` and
+        quarantines the configuration."""
+        hit = self._quarantine.get(tuple(sorted(thresholds.items())))
+        if hit is not None:
+            return None, hit[1]
+        attempt = 0
+        while True:
+            try:
+                return self._timed_eval(thresholds, timeout_s), None
+            except faults.DeterministicFault as exc:
+                return None, str(exc)
+            except faults.TransientFault as exc:
+                attempt += 1
+                self.retries += 1
+                perf.inc("tuner.retries")
+                obs.instant(
+                    "tuner.retry", cat="tuner", attempt=attempt, error=str(exc)
+                )
+                if attempt > retry_budget:
+                    return None, (
+                        f"transient-fault retry budget exhausted "
+                        f"({retry_budget}): {exc}"
+                    )
+                if backoff_s:
+                    _time.sleep(min(backoff_s * (2 ** (attempt - 1)), 1.0))
+
     # -- search ------------------------------------------------------------------
 
     def tune(
@@ -274,6 +476,11 @@ class Autotuner:
         time_budget_s: float | None = None,
         workers: int = 1,
         batch_size: int = 1,
+        proposal_timeout_s: float | None = None,
+        retries: int | None = None,
+        backoff_s: float | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 10,
     ) -> TuningResult:
         """Search for the best threshold assignment.
 
@@ -288,11 +495,37 @@ class Autotuner:
         results are independent of ``workers`` (only of ``batch_size``),
         so parallel and serial runs with the same seed return identical
         results.  The defaults reproduce the classic serial behaviour.
-        """
-        import time as _time
 
+        Robustness (``docs/robustness.md``): ``proposal_timeout_s`` puts a
+        wall-clock watchdog on each proposal; a timeout counts as a
+        transient fault.  Transient faults are retried up to ``retries``
+        times with exponential ``backoff_s`` (both default to the active
+        fault plan's policy, or 8 retries / no backoff without one);
+        configurations failing deterministically — or out of retry budget
+        — score :data:`PENALTY_COST`, are quarantined, and are never
+        re-evaluated.  ``checkpoint_path`` atomically persists recoverable
+        state every ``checkpoint_every`` proposals, and a tuner whose
+        measurements were preloaded via :meth:`preload_measurements`
+        replays a checkpointed run to the bit-identical result.
+        """
+        plan = faults.active_plan()
+        if retries is None:
+            retries = plan.retries if plan is not None else 8
+        if backoff_s is None:
+            backoff_s = plan.backoff_s if plan is not None else 0.0
+        # the robust path composes with every feature below, but the plain
+        # path stays the default: no watchdog machinery, no quarantine
+        # lookups when nothing can fail and there is nothing to replay
+        robust = (
+            faults.enabled()
+            or proposal_timeout_s is not None
+            or any(self._recorded)
+            or bool(self._quarantine)
+        )
         deadline = (
-            _time.monotonic() + time_budget_s if time_budget_s else None
+            _time.monotonic() + time_budget_s
+            if time_budget_s is not None
+            else None
         )
         tech = make_technique(technique)
         best_cfg: dict[str, int] | None = None
@@ -311,6 +544,21 @@ class Autotuner:
             executor = BatchExecutor(self, workers)
 
         proposals = 0
+        last_checkpoint = 0
+
+        def checkpoint(force: bool = False) -> None:
+            nonlocal last_checkpoint
+            if checkpoint_path is None:
+                return
+            if not force and proposals - last_checkpoint < checkpoint_every:
+                return
+            from repro.tuning import persist as _persist
+
+            _persist.save_checkpoint(
+                checkpoint_path, self, proposals, best_cfg, best_cost
+            )
+            last_checkpoint = proposals
+
         try:
             with perf.timer("tune"), obs.span(
                 "tune", cat="tuner",
@@ -321,6 +569,9 @@ class Autotuner:
                 while proposals < max_proposals:
                     if deadline is not None and _time.monotonic() >= deadline:
                         break
+                    # the batch-granular fault site: plans target it with
+                    # process_kill (the kill/--resume round-trip) or delay
+                    faults.check("tuner.batch")
                     batch: list[dict[str, int]] = []
                     while (
                         len(batch) < batch_size
@@ -333,19 +584,45 @@ class Autotuner:
                     with obs.span("tuner.eval_batch", cat="tuner",
                                   size=len(batch)):
                         if executor is not None:
-                            all_times = [
-                                self._merge(cfg, out, d)
-                                for cfg, (out, d) in zip(
-                                    batch, executor.evaluate(batch)
+                            all_times = []
+                            for cfg, (out, d, failure) in zip(
+                                batch, executor.evaluate(batch)
+                            ):
+                                self.retries += int(
+                                    (d or {}).get("counters", {})
+                                    .get("tuner.retries", 0)
                                 )
-                            ]
+                                if failure is not None:
+                                    if d:
+                                        perf.merge(
+                                            d, exclude=self._CANONICAL_COUNTERS
+                                        )
+                                    self._note_quarantine(cfg, failure)
+                                    all_times.append(None)
+                                else:
+                                    all_times.append(self._merge(cfg, out, d))
+                        elif robust:
+                            all_times = []
+                            for cfg in batch:
+                                out, failure = self._eval_robust(
+                                    cfg, proposal_timeout_s, retries, backoff_s
+                                )
+                                if failure is not None:
+                                    self._note_quarantine(cfg, failure)
+                                    all_times.append(None)
+                                else:
+                                    all_times.append(self._merge(cfg, out))
                         else:
                             all_times = [
                                 [t for _, t in self._eval(cfg)] for cfg in batch
                             ]
                     for cfg, times in zip(batch, all_times):
                         with obs.span("tuner.proposal", cat="tuner") as psp:
-                            cost = self.cost_fn(times)
+                            cost = (
+                                self.cost_fn(times)
+                                if times is not None
+                                else PENALTY_COST
+                            )
                             proposals += 1
                             full_history.append((dict(cfg), cost))
                             improved = cost < best_cost
@@ -354,16 +631,20 @@ class Autotuner:
                                 best_cfg, best_cost = dict(cfg), cost
                                 history.append((proposals, cost))
                             psp["proposal"] = proposals
-                            psp["cost"] = cost
+                            psp["cost"] = cost if times is not None else "penalty"
                             psp["improved"] = improved
-                            psp["best_cost"] = best_cost
+                            psp["best_cost"] = _json_cost(best_cost)
                             psp["thresholds"] = dict(cfg)
+                            if times is None:
+                                psp["failed"] = True
+                    checkpoint()
                     if deadline is not None and _time.monotonic() >= deadline:
                         break
                 tsp["proposals"] = proposals
                 tsp["simulations"] = self.simulations
                 tsp["cache_hits"] = self.cache_hits
         finally:
+            self._close_watchdog()
             if executor is not None:
                 executor.close()
 
@@ -371,10 +652,22 @@ class Autotuner:
             # every round timed out before a measurement: fall back to the
             # defaults, and account the fallback like any other proposal
             best_cfg = self.space.default_config()
-            best_cost = self.measure(best_cfg)
+            if robust:
+                out, failure = self._eval_robust(
+                    best_cfg, proposal_timeout_s, retries, backoff_s
+                )
+                self._close_watchdog()
+                if failure is not None:
+                    self._note_quarantine(best_cfg, failure)
+                    best_cost = PENALTY_COST
+                else:
+                    best_cost = self.cost_fn(self._merge(best_cfg, out))
+            else:
+                best_cost = self.measure(best_cfg)
             proposals += 1
             full_history.append((dict(best_cfg), best_cost))
             history.append((proposals, best_cost))
+            checkpoint(force=True)
         return TuningResult(
             best_thresholds=best_cfg,
             best_cost=best_cost,
@@ -384,4 +677,6 @@ class Autotuner:
             history=history,
             full_history=full_history,
             path_counts=self.path_counts,
+            retries=self.retries,
+            quarantined=self.quarantine_list(),
         )

@@ -1,0 +1,179 @@
+"""Injector determinism, budgets, retry wrapper, and activation scoping."""
+
+import pytest
+
+from repro import faults, perf
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    Injector,
+    InjectedOOMFault,
+    KernelLaunchFault,
+    TransientFault,
+)
+
+
+def plan_of(*rules, retries=8, backoff_s=0.0, seed=0):
+    return FaultPlan(seed=seed, rules=tuple(rules), retries=retries,
+                     backoff_s=backoff_s)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fires(self):
+        plan = plan_of(FaultRule(site="s", kind="launch", p=0.3))
+
+        def fire_pattern():
+            inj = Injector(plan)
+            out = []
+            for _ in range(50):
+                try:
+                    inj.check("s")
+                    out.append(False)
+                except KernelLaunchFault:
+                    out.append(True)
+            return out
+
+        assert fire_pattern() == fire_pattern()
+        assert any(fire_pattern())
+
+    def test_different_seeds_differ(self):
+        def fire_pattern(seed):
+            inj = Injector(plan_of(
+                FaultRule(site="s", kind="launch", p=0.3), seed=seed))
+            out = []
+            for _ in range(100):
+                try:
+                    inj.check("s")
+                    out.append(False)
+                except KernelLaunchFault:
+                    out.append(True)
+            return out
+
+        assert fire_pattern(0) != fire_pattern(1)
+
+    def test_deterministic_kind_keyed_not_counted(self):
+        # an "oom" draw depends on the key, not the invocation index:
+        # the same key fails on every attempt, in any order
+        inj = Injector(plan_of(FaultRule(site="s", kind="oom", p=0.5)))
+        verdicts = {}
+        for key in ("a", "b", "c", "d", "e", "f"):
+            try:
+                inj.check("s", key=key)
+                verdicts[key] = False
+            except InjectedOOMFault:
+                verdicts[key] = True
+        inj2 = Injector(plan_of(FaultRule(site="s", kind="oom", p=0.5)))
+        for key in reversed(sorted(verdicts)):
+            try:
+                inj2.check("s", key=key)
+                assert verdicts[key] is False
+            except InjectedOOMFault:
+                assert verdicts[key] is True
+        assert True in verdicts.values() and False in verdicts.values()
+
+    def test_transient_retry_gets_fresh_draw(self):
+        # p=1.0 with max_fires=1: first attempt fails, retry succeeds
+        inj = Injector(plan_of(
+            FaultRule(site="s", kind="launch", p=1.0, max_fires=1)))
+        with pytest.raises(KernelLaunchFault):
+            inj.check("s")
+        inj.check("s")  # budget spent: no further fires
+
+
+class TestTriggers:
+    def test_at_trigger(self):
+        inj = Injector(plan_of(FaultRule(site="s", kind="launch", at=(2,))))
+        inj.check("s")
+        inj.check("s")
+        with pytest.raises(KernelLaunchFault):
+            inj.check("s")
+        inj.check("s")
+
+    def test_site_wildcard(self):
+        inj = Injector(plan_of(FaultRule(site="sim.*", kind="launch", at=(0,))))
+        inj.check("interp.kernel")  # no match
+        with pytest.raises(KernelLaunchFault):
+            inj.check("sim.kernel")
+
+    def test_max_fires_caps_total(self):
+        inj = Injector(plan_of(
+            FaultRule(site="s", kind="launch", p=1.0, max_fires=3)))
+        fails = 0
+        for _ in range(10):
+            try:
+                inj.check("s")
+            except KernelLaunchFault:
+                fails += 1
+        assert fails == 3
+
+    def test_fires_counter(self):
+        inj = Injector(plan_of(
+            FaultRule(site="s", kind="launch", p=1.0, max_fires=2)))
+        for _ in range(5):
+            try:
+                inj.check("s")
+            except KernelLaunchFault:
+                pass
+        assert inj.fires() == 2
+
+    def test_delay_kind_does_not_raise(self):
+        inj = Injector(plan_of(FaultRule(site="s", kind="delay", at=(0,))))
+        inj.check("s")  # sleeps 0s, no exception
+
+
+class TestActivation:
+    def test_injected_restores_previous(self):
+        outer = plan_of()
+        inner = plan_of(seed=1)
+        with faults.injected(outer):
+            with faults.injected(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+        assert faults.active_plan() is None
+
+    def test_suspended_restores(self):
+        with faults.injected(plan_of()):
+            with faults.suspended():
+                assert not faults.enabled()
+            assert faults.enabled()
+
+    def test_module_check_noop_without_plan(self):
+        assert not faults.enabled()
+        faults.check("anything")  # must be free and silent
+
+    def test_injected_counter(self):
+        plan = plan_of(FaultRule(site="s", kind="launch", at=(0,)))
+        perf.reset()
+        with faults.injected(plan):
+            with pytest.raises(KernelLaunchFault):
+                faults.check("s")
+        assert perf.counters()["faults.injected.launch"] == 1
+
+
+class TestRetrying:
+    def test_recovers_within_budget(self):
+        plan = plan_of(
+            FaultRule(site="s", kind="launch", p=1.0, max_fires=3),
+            retries=8,
+        )
+        perf.reset()
+        with faults.injected(plan):
+            assert faults.retrying("s", lambda: 42) == 42
+        assert perf.counters()["faults.retries"] == 3
+
+    def test_budget_exhausted_raises(self):
+        plan = plan_of(FaultRule(site="s", kind="launch", p=1.0), retries=2)
+        with faults.injected(plan):
+            with pytest.raises(TransientFault):
+                faults.retrying("s", lambda: 42)
+
+    def test_deterministic_fault_propagates(self):
+        plan = plan_of(FaultRule(site="s", kind="oom", at=(0,)), retries=8)
+        perf.reset()
+        with faults.injected(plan):
+            with pytest.raises(InjectedOOMFault):
+                faults.retrying("s", lambda: 42)
+        assert perf.counters().get("faults.retries", 0) == 0
+
+    def test_no_plan_fast_path(self):
+        assert faults.retrying("s", lambda: "ok") == "ok"

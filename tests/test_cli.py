@@ -38,8 +38,10 @@ class TestShow:
         assert code == 0
 
     def test_unknown_program(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["show", "does-not-exist"])
+        assert main(["show", "does-not-exist"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "does-not-exist" in err
+        assert len(err.strip().splitlines()) == 1  # one-line message
 
     def test_show_parsed_file(self, capsys, tmp_path):
         f = tmp_path / "sumsq.fut"
@@ -99,9 +101,41 @@ class TestSimulate:
         assert code == 0
         assert "lvl" in out
 
-    def test_bad_size_syntax(self):
-        with pytest.raises(SystemExit):
-            main(["simulate", "matmul", "--size", "n:64"])
+    def test_simulate_heals_recoverable_faults(self, capsys):
+        # a bare simulate has no tuner above it to retry, so the CLI
+        # self-heals transient injected faults; output must match fault-free
+        _, clean = run(capsys, "simulate", "matmul", "--size", "n=64,m=64")
+        plan = (
+            '{"retries": 8, "rules": [{"site": "sim.kernel", '
+            '"kind": "launch", "p": 0.3, "max_fires": 4}]}'
+        )
+        code, chaos = run(
+            capsys, "simulate", "matmul", "--size", "n=64,m=64",
+            "--faults", plan,
+        )
+        assert code == 0
+        assert chaos == clean
+
+    def test_bad_size_syntax(self, capsys):
+        assert main(["simulate", "matmul", "--size", "n:64"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_non_integer_size(self, capsys):
+        assert main(["simulate", "matmul", "--size", "n=big"]) == 2
+        assert "integer" in capsys.readouterr().err
+
+    def test_missing_size_variable_exits_2(self, capsys):
+        assert main(["simulate", "matmul", "--size", "bogus=64"]) == 2
+        err = capsys.readouterr().err
+        assert "m, n" in err and "bogus" in err
+
+    def test_run_missing_size_variable_exits_2(self, capsys):
+        assert main(["run", "matmul", "--size", "n=4"]) == 2
+        assert "--size value(s) for m" in capsys.readouterr().err
+
+    def test_tune_missing_dataset_variable_exits_2(self, capsys):
+        assert main(["tune", "matmul", "--dataset", "n=64"]) == 2
+        assert "--dataset value(s) for m" in capsys.readouterr().err
 
 
 class TestTune:
@@ -123,9 +157,73 @@ class TestTune:
         assert code == 0
         assert "dedup" in out
 
-    def test_requires_dataset(self):
-        with pytest.raises(SystemExit):
-            main(["tune", "matmul"])
+    def test_requires_dataset(self, capsys):
+        assert main(["tune", "matmul"]) == 2
+        assert "--dataset" in capsys.readouterr().err
+
+    def test_malformed_tuning_file_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.tuning"
+        bad.write_text("{not json")
+        code = main(["simulate", "matmul", "--size", "n=8,m=8",
+                     "--tuning", str(bad)])
+        assert code == 2
+        assert "not a tuning file" in capsys.readouterr().err
+
+    def test_device_mismatch_exits_2(self, capsys, tmp_path):
+        out_file = tmp_path / "m.tuning"
+        assert main(["tune", "matmul", "--dataset", "n=32,m=1024",
+                     "--proposals", "6", "--output", str(out_file)]) == 0
+        capsys.readouterr()
+        code = main(["simulate", "matmul", "--size", "n=8,m=8",
+                     "--device", "Vega64", "--tuning", str(out_file)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "K40" in err and "Vega64" in err
+
+    def test_malformed_fault_plan_exits_2(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"rules": [{"site": "sim.kernel", "kind": "nope"}]}')
+        code = main(["tune", "matmul", "--dataset", "n=8,m=8",
+                     "--proposals", "2", "--faults", str(plan)])
+        assert code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_exits_2(self, capsys, tmp_path):
+        out_file = tmp_path / "m.tuning"
+        code = main(["tune", "matmul", "--dataset", "n=8,m=8",
+                     "--resume", "--output", str(out_file)])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_tune_under_recoverable_faults_matches_fault_free(
+        self, capsys, tmp_path
+    ):
+        base, chaos = tmp_path / "a.tuning", tmp_path / "b.tuning"
+        argv = ["tune", "matmul", "--dataset", "n=32,m=1024",
+                "--proposals", "12"]
+        assert main(argv + ["--output", str(base)]) == 0
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "seed": 5, "retries": 8,
+            "rules": [{"site": "sim.kernel", "kind": "launch",
+                       "p": 0.2, "max_fires": 4}],
+        }))
+        assert main(argv + ["--output", str(chaos),
+                            "--faults", str(plan)]) == 0
+        a = json.loads(base.read_text())
+        b = json.loads(chaos.read_text())
+        assert a["thresholds"] == b["thresholds"]
+        ta = json.loads((tmp_path / "a.tuning.telemetry.json").read_text())
+        tb = json.loads((tmp_path / "b.tuning.telemetry.json").read_text())
+        assert ta == tb
+
+    def test_checkpoint_deleted_after_successful_run(self, capsys, tmp_path):
+        out_file = tmp_path / "m.tuning"
+        assert main(["tune", "matmul", "--dataset", "n=32,m=1024",
+                     "--proposals", "8", "--checkpoint-every", "1",
+                     "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        assert not (tmp_path / "m.tuning.ckpt.json").exists()
 
     def test_output_writes_tuning_and_telemetry(self, capsys, tmp_path):
         out_file = tmp_path / "m.tuning"
@@ -227,9 +325,9 @@ class TestCheck:
         doc = json.loads(report.read_text())
         assert doc["ok"] and doc["fuzz"]["examples"] == 5
 
-    def test_check_unknown_program(self):
-        with pytest.raises(SystemExit):
-            main(["check", "not-a-benchmark"])
+    def test_check_unknown_program(self, capsys):
+        assert main(["check", "not-a-benchmark"]) == 2
+        assert "not-a-benchmark" in capsys.readouterr().err
 
     def test_check_exec_vector_only(self, capsys):
         code, out = run(capsys, "check", "matmul", "--exec", "vector")

@@ -157,3 +157,86 @@ def test_parallel_reproduces_serial_best(seed, noise, batch_size):
     assert serial.best_thresholds == parallel.best_thresholds
     assert serial.best_cost == parallel.best_cost
     assert serial.full_history == parallel.full_history
+
+
+# a worker hard-exiting can trip a CPython race in the pool's own
+# management thread ("dictionary changed size during iteration"); it is
+# harmless — the pool is torn down for respawn anyway — but surfaces as a
+# thread-exception warning
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+class TestCrashRecovery:
+    """Worker crashes break the whole pool; the executor must keep
+    completed chunks, respawn, and re-dispatch only the lost work."""
+
+    def test_crash_mid_batch_recovers_and_matches_serial(
+        self, matmul_if, train
+    ):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultRule
+
+        serial = _tune(matmul_if, train, seed=2, batch_size=6, n=24)
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(site="worker.eval", kind="worker_crash", p=0.3,
+                      max_fires=2),
+        ))
+        perf.reset()
+        with faults.injected(plan):
+            crashed = _tune(
+                matmul_if, train, seed=2, workers=3, batch_size=6, n=24
+            )
+        _assert_same(serial, crashed)
+        assert perf.counters().get("faults.worker_crashes", 0) >= 1
+
+    def test_crash_in_initializer_recovers(self, matmul_if, train):
+        # the replacement pool is built against a consumed-budget plan,
+        # so it comes up clean even when the crash hits worker startup
+        from repro import faults
+        from repro.faults import FaultPlan, FaultRule
+
+        serial = _tune(matmul_if, train, seed=2, batch_size=4, n=12)
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(site="worker.eval", kind="worker_crash", at=(0,),
+                      max_fires=1),
+        ))
+        with faults.injected(plan):
+            crashed = _tune(
+                matmul_if, train, seed=2, workers=2, batch_size=4, n=12
+            )
+        _assert_same(serial, crashed)
+
+    def test_unbounded_crash_plan_gives_up_with_clear_error(
+        self, matmul_if, train
+    ):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="worker.eval", kind="worker_crash", p=1.0),
+        ))
+        tuner = Autotuner(matmul_if, train, K40, seed=0)
+        with faults.injected(plan):
+            with pytest.raises(RuntimeError, match="crashed .* times"):
+                tuner.tune(max_proposals=8, workers=2, batch_size=4)
+
+
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+class TestStartupFailFast:
+    def test_worker_dead_on_arrival_raises_immediately(
+        self, matmul_if, train
+    ):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultRule
+
+        # every spawned worker dies in its initializer, and the plan never
+        # runs out of budget: startup must fail loudly, not hang
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="worker.init", kind="worker_crash", p=1.0),
+        ))
+        tuner = Autotuner(matmul_if, train, K40, seed=0)
+        with faults.injected(plan):
+            with pytest.raises(RuntimeError, match="died during startup"):
+                BatchExecutor(tuner, 2)

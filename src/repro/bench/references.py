@@ -334,6 +334,25 @@ def _register_thomas_tridag():
             out = nxt
         return out
 
+    def vector(args, aflags):
+        # Whole-batch lowering for the codegen engine: the same three
+        # passes, folded along the last axis for every lane at once.  Each
+        # step performs the scalar recurrence's exact op sequence per lane
+        # (f32 accumulator, identical promotion order), so the result is
+        # bit-identical to the per-lane oracle.
+        (out,) = args
+        out = np.asarray(out)
+        for a, b in ((0.5, 1.0), (0.25, 1.5), (0.125, 1.0)):
+            acc = np.zeros(out.shape[:-1], np.float32)
+            nxt = np.empty_like(out)
+            for j in range(out.shape[-1]):
+                acc = (acc * np.float32(a) + out[..., j] * np.float32(b)).astype(
+                    np.float32
+                )
+                nxt[..., j] = acc
+            out = nxt
+        return out
+
     def cost(arg_avals, sizes):
         (arr,) = arg_avals
         n = arr.shape[0]
@@ -350,6 +369,7 @@ def _register_thomas_tridag():
             interp=interp,
             cost=cost,
             abstract=abstract,
+            vector=vector,
         )
     )
 

@@ -53,7 +53,7 @@ __all__ = [
 MODES = ("moderate", "incremental", "full")
 
 #: execution engines the differential check exercises per forced path
-ENGINES = ("scalar", "vector")
+ENGINES = ("scalar", "vector", "codegen")
 
 #: ``Par ≥ 0`` always holds; ``Par ≥ 2^62`` never does (sizes are moderate).
 FORCE_TRUE = 0
@@ -307,9 +307,10 @@ def differential_check(
     For every dataset and every flattening mode, every forced threshold
     path of the compiled body is executed with every requested engine and
     compared bit-for-bit against the source program's results (run under
-    the scalar oracle).  ``engines`` defaults to both the scalar
-    tree-walker and the vectorizing executor, so every path is the proof
-    obligation for both the flattening rules *and* the vectorizer.
+    the scalar oracle).  ``engines`` defaults to all three executors —
+    the scalar tree-walker, the vectorizing executor and the codegen
+    tier — so every path is the proof obligation for the flattening
+    rules *and* both compiled engines.
     Compile-time validator failures are reported per mode rather than
     raised, so one broken mode does not hide another's results.
     """
@@ -332,32 +333,55 @@ def differential_check(
                 prog, inputs, body=body, thresholds=th, sizes=sizes
             )
         }
-        if "vector" in engines:
-            from repro.exec import VectorEvaluator
+        exec_engines = [e for e in ("vector", "codegen") if e in engines]
+        if exec_engines:
+            from repro.exec import (
+                CodegenEvaluator,
+                VectorEvaluator,
+                dtype_signature,
+            )
             from repro.interp.evaluator import program_env
 
             env, all_sizes = program_env(prog, inputs, sizes)
-            vev = VectorEvaluator(sizes=all_sizes, thresholds={})
+            gate_failed = False
+            for engine in exec_engines:
+                if engine == "vector":
+                    xev = VectorEvaluator(sizes=all_sizes, thresholds={})
+                else:
+                    xev = CodegenEvaluator(
+                        sizes=all_sizes,
+                        thresholds={},
+                        dtype_sig=dtype_signature(inputs),
+                    )
 
-            def vector_run(body, th, _vev=vev, _env=env):
-                # one evaluator per dataset: kernels compile once, launch
-                # once per forced path (thresholds swap between launches)
-                _vev.thresholds.clear()
-                if th:
-                    _vev.thresholds.update(th)
-                return _vev.eval(body, _env)
+                def engine_run(body, th, _xev=xev, _env=env):
+                    # one evaluator per (dataset, engine): kernels compile
+                    # once, launch once per forced path (thresholds swap
+                    # between launches)
+                    _xev.thresholds.clear()
+                    if th:
+                        _xev.thresholds.update(th)
+                    return _xev.eval(body, _env)
 
-            runners["vector"] = vector_run
-            # gate: the vector engine must agree on the source program too
-            try:
-                vref = vector_run(prog.body, None)
-            except Exception as ex:  # noqa: BLE001
-                ds.error = f"[vector] source program: {type(ex).__name__}: {ex}"
-                continue
-            if len(vref) != len(ref) or not all(
-                bit_equal(r, v) for r, v in zip(ref, vref)
-            ):
-                ds.error = "[vector] source program diverges from scalar oracle"
+                runners[engine] = engine_run
+                # gate: the engine must agree on the source program too
+                try:
+                    xref = engine_run(prog.body, None)
+                except Exception as ex:  # noqa: BLE001
+                    ds.error = (
+                        f"[{engine}] source program: {type(ex).__name__}: {ex}"
+                    )
+                    gate_failed = True
+                    break
+                if len(xref) != len(ref) or not all(
+                    bit_equal(r, v) for r, v in zip(ref, xref)
+                ):
+                    ds.error = (
+                        f"[{engine}] source program diverges from scalar oracle"
+                    )
+                    gate_failed = True
+                    break
+            if gate_failed:
                 continue
         for mode in modes:
             mr = ModeResult(mode=mode)

@@ -31,6 +31,7 @@ from repro.ir.builder import (
     f32,
     i64,
     if_,
+    intrinsic,
     iota,
     lam,
     let_,
@@ -41,6 +42,7 @@ from repro.ir.builder import (
     scan_,
     size_e,
     to_f32,
+    to_i64,
     transpose,
     v,
 )
@@ -153,6 +155,31 @@ def _build_vec(r: dict, row: S.Exp, length: str) -> S.Exp:
             _build_vec(r["then"], row, length),
             _build_vec(r["else"], row, length),
         )
+    if k == "dif":
+        # data-dependent condition: batched under the enclosing map, so
+        # with non-total branches this is exactly the vector engine's
+        # per-lane ``if`` fallback (and the codegen engine's masked
+        # two-sided lowering)
+        cond = S.BinOp(r["cmp"], row[i64(0)], f32(0.5))
+        return if_(
+            cond,
+            _build_vec(r["then"], row, length),
+            _build_vec(r["else"], row, length),
+        )
+    if k == "dloop":
+        # data-dependent trip count (1..4): a batched-bound loop — the
+        # vector engine's per-lane ``loop`` fallback, the codegen engine's
+        # max-trip masked iteration
+        src = _build_vec(r["src"], row, length)
+        fn = r["f"]
+        bound = to_i64(S.BinOp("min", S.UnOp("abs", row[i64(0)]), f32(3.0))) + i64(1)
+        return loop_(src, bound, lambda i, state: map_(_fn_lambda(fn), state))
+    if k == "vintr":
+        # batched-argument intrinsic: per-lane fallback on the vector
+        # engine, whole-batch registered lowering on codegen
+        import repro.bench.references  # noqa: F401  (registers thomas_tridag)
+
+        return intrinsic("thomas_tridag", _build_vec(r["src"], row, length))
     raise ValueError(f"unknown VEC recipe kind {k!r}")
 
 
@@ -253,7 +280,8 @@ def _gen_vec(draw: Draw, depth: int, length: str) -> dict:
         return {"k": draw("vec-leaf", leaves)}
     kind = draw(
         "vec-kind",
-        ["vmap", "scan", "scanmap", "zip", "vloop", "vif", "leaf", "leaf"],
+        ["vmap", "scan", "scanmap", "zip", "vloop", "vif",
+         "dif", "dif", "dloop", "dloop", "vintr", "leaf"],
     )
     if kind == "leaf":
         return {"k": draw("vec-leaf", leaves)}
@@ -286,6 +314,21 @@ def _gen_vec(draw: Draw, depth: int, length: str) -> dict:
             "f": _gen_fn(draw),
             "src": _gen_vec(draw, depth - 1, length),
         }
+    if kind == "dif":
+        return {
+            "k": "dif",
+            "cmp": draw("dif-cmp", ["<", "<=", ">"]),
+            "then": _gen_vec(draw, depth - 1, length),
+            "else": _gen_vec(draw, depth - 1, length),
+        }
+    if kind == "dloop":
+        return {
+            "k": "dloop",
+            "f": _gen_fn(draw),
+            "src": _gen_vec(draw, depth - 1, length),
+        }
+    if kind == "vintr":
+        return {"k": "vintr", "src": _gen_vec(draw, depth - 1, length)}
     return {
         "k": "vif",
         "cmp": [draw("cmp-lhs", ["n", "m"]), draw("cmp-op", ["<=", "<", ">"]),
@@ -411,12 +454,15 @@ def _simpler_variants(node: dict) -> list[dict]:
         out.append(node["src"])
     if k == "zip":
         out.extend([node["a"], node["b"]])
-    if k == "vif":
+    if k in ("vif", "dif"):
         out.extend([node["then"], node["else"]])
+    if k in ("dloop", "vintr"):
+        out.append(node["src"])
     if k == "sbin":
         out.extend([node["a"], node["b"]])
     # atomic fallbacks
-    if k in ("vmap", "scan", "scanmap", "zip", "vloop", "vif", "ys", "iota"):
+    if k in ("vmap", "scan", "scanmap", "zip", "vloop", "vif", "dif",
+             "dloop", "vintr", "ys", "iota"):
         out.append({"k": "r"})
     if k in ("sum", "dot", "sbin", "first"):
         out.append({"k": "red", "op": "+", "src": {"k": "r"}})

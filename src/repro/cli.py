@@ -455,6 +455,19 @@ def cmd_profile(args) -> int:
         print()
         print(obs.render_summary(tracer))
     snap = perf.snapshot()
+    fallback = {
+        k[len("exec.fallback."):]: v
+        for k, v in sorted(snap["counters"].items())
+        if k.startswith("exec.fallback.")
+    }
+    if args.exec:
+        print()
+        print("scalar-fallback histogram (per construct):")
+        if fallback:
+            for construct, v in fallback.items():
+                print(f"  {construct:32} {v:12.0f}")
+        else:
+            print("  (none — every construct ran vectorized)")
     interesting = {
         k: v for k, v in sorted(snap["counters"].items())
         if not k.endswith("_nodes")
@@ -475,7 +488,12 @@ def cmd_check(args) -> int:
     try:
         names = args.programs or None
         modes = tuple(args.mode) if args.mode else ("moderate", "incremental", "full")
-        engines = ("scalar", "vector") if args.exec == "both" else (args.exec,)
+        if args.exec == "all":
+            engines = ("scalar", "vector", "codegen")
+        elif args.exec == "both":
+            engines = ("scalar", "vector")
+        else:
+            engines = (args.exec,)
         try:
             reports = check_all(names, modes=modes, seed=args.seed,
                                 max_paths=args.max_paths, engines=engines)
@@ -578,7 +596,8 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--size", action="append", help="size binding n=4")
     rp.add_argument("--threshold", action="append", help="threshold t0=128")
     rp.add_argument("--seed", type=int, default=0)
-    rp.add_argument("--exec", default=None, choices=("scalar", "vector"),
+    rp.add_argument("--exec", default=None,
+                    choices=("scalar", "vector", "codegen"),
                     help="executor (default: REPRO_EXEC or scalar)")
     rp.add_argument("--faults", metavar="PLAN",
                     help="inject faults from a plan (JSON file or inline)")
@@ -592,7 +611,8 @@ def build_parser() -> argparse.ArgumentParser:
     mp.add_argument("--device", default="K40", choices=("K40", "Vega64"))
     mp.add_argument("--kernels", action="store_true", help="per-kernel stats")
     mp.add_argument("--tuning", help="read thresholds from a .tuning file")
-    mp.add_argument("--exec", default=None, choices=("scalar", "vector"),
+    mp.add_argument("--exec", default=None,
+                    choices=("scalar", "vector", "codegen"),
                     help="also execute with this engine and report wall time")
     mp.add_argument("--faults", metavar="PLAN",
                     help="inject faults from a plan (JSON file or inline)")
@@ -654,9 +674,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("moderate", "incremental", "full"),
                     help="restrict to a flattening mode (repeatable)")
     cp.add_argument("--seed", type=int, default=0)
-    cp.add_argument("--exec", default="both",
-                    choices=("scalar", "vector", "both"),
-                    help="executor(s) for forced paths (default: both)")
+    cp.add_argument("--exec", default="all",
+                    choices=("scalar", "vector", "codegen", "both", "all"),
+                    help="executor(s) for forced paths: one engine, 'both' "
+                    "(scalar+vector) or 'all' (default: all three)")
     cp.add_argument("--corpus-out", default=None, metavar="DIR",
                     help="write shrunk fuzz counterexamples to DIR "
                     "(tests/corpus/ format)")
@@ -682,7 +703,8 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--proposals", type=int, default=48,
                     help="tuner proposals for the traced tuning run")
     pp.add_argument("--seed", type=int, default=0)
-    pp.add_argument("--exec", default=None, choices=("scalar", "vector"),
+    pp.add_argument("--exec", default=None,
+                    choices=("scalar", "vector", "codegen"),
                     help="also execute the program with this engine under "
                     "the tracer (adds exec.* spans and counters)")
     pp.add_argument("--faults", metavar="PLAN",

@@ -59,8 +59,9 @@ class CompiledProgram:
         """Execute with value semantics.
 
         ``engine`` selects the executor: ``"scalar"`` (tree-walking
-        oracle), ``"vector"`` (batched NumPy kernels, bit-identical), or
-        ``None`` to follow ``REPRO_EXEC``.
+        oracle), ``"vector"`` (batched NumPy kernels), ``"codegen"``
+        (generated-source kernels + compile cache) — all bit-identical —
+        or ``None`` to follow ``REPRO_EXEC``.
         """
         return run_program(
             self.prog, inputs, body=self.body, thresholds=thresholds, engine=engine

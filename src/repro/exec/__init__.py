@@ -2,11 +2,15 @@
 
 :class:`VectorEvaluator` compiles source/target IR to batched NumPy
 closures (bit-identical to the scalar interpreter; see
-``docs/execution.md``).  Select it per call via
-``run_program(..., engine="vector")``, per process via ``REPRO_EXEC=vector``,
-or on the CLI via ``--exec vector``.
+``docs/execution.md``).  :class:`CodegenEvaluator` extends it with
+generated-source kernels, masked lowerings for the scalar-fallback
+construct classes, and a cross-process on-disk compile cache
+(:mod:`repro.exec.compile_cache`).  Select an engine per call via
+``run_program(..., engine="vector"|"codegen")``, per process via
+``REPRO_EXEC=...``, or on the CLI via ``--exec ...``.
 """
 
+from repro.exec.codegen import CodegenEvaluator, dtype_signature
 from repro.exec.vector import VectorEvaluator
 
-__all__ = ["VectorEvaluator"]
+__all__ = ["CodegenEvaluator", "VectorEvaluator", "dtype_signature"]

@@ -239,6 +239,7 @@ class VectorEvaluator:
                 self._compile(e, frozenset())
         fn, _flags = self._cache[key]
         v0, f0 = self.vector_ops, self.scalar_fallbacks
+        c0 = dict(self.fallback_counts)
         try:
             return fn(dict(env), None)
         finally:
@@ -246,6 +247,10 @@ class VectorEvaluator:
                 perf.inc("exec.vector_ops", self.vector_ops - v0)
             if self.scalar_fallbacks > f0:
                 perf.inc("exec.scalar_fallbacks", self.scalar_fallbacks - f0)
+            for construct, cnt in self.fallback_counts.items():
+                d = cnt - c0.get(construct, 0)
+                if d > 0:
+                    perf.inc(f"exec.fallback.{construct}", d)
 
     def eval1(self, e: S.Exp, env: dict[str, Value]) -> Value:
         vs = self.eval(e, env)

@@ -445,8 +445,8 @@ def program_env(
 def default_engine() -> str:
     """The engine ``run_program`` uses when none is requested.
 
-    ``REPRO_EXEC`` selects it process-wide (``scalar`` | ``vector``); the
-    default is the scalar tree-walking oracle.
+    ``REPRO_EXEC`` selects it process-wide (``scalar`` | ``vector`` |
+    ``codegen``); the default is the scalar tree-walking oracle.
     """
     return os.environ.get("REPRO_EXEC") or "scalar"
 
@@ -466,7 +466,8 @@ def run_program(
 
     ``engine`` selects the executor: ``"scalar"`` is this module's
     tree-walking oracle, ``"vector"`` the batched-NumPy compiler in
-    :mod:`repro.exec` (bit-identical results, see ``docs/execution.md``).
+    :mod:`repro.exec`, ``"codegen"`` the generated-source tier on top of it
+    (both bit-identical to the oracle, see ``docs/execution.md``).
     ``None`` defers to the ``REPRO_EXEC`` environment variable, defaulting
     to ``"scalar"``.
     """
@@ -478,7 +479,18 @@ def run_program(
 
         vev = VectorEvaluator(sizes=all_sizes, thresholds=thresholds)
         return vev.eval(target, env)
+    if eng == "codegen":
+        from repro.exec import CodegenEvaluator, dtype_signature
+
+        cev = CodegenEvaluator(
+            sizes=all_sizes,
+            thresholds=thresholds,
+            dtype_sig=dtype_signature(inputs),
+        )
+        return cev.eval(target, env)
     if eng != "scalar":
-        raise ValueError(f"unknown engine {eng!r} (expected 'scalar' or 'vector')")
+        raise ValueError(
+            f"unknown engine {eng!r} (expected 'scalar', 'vector' or 'codegen')"
+        )
     ev = Evaluator(sizes=all_sizes, thresholds=thresholds)
     return ev.eval(target, env)

@@ -55,11 +55,19 @@ _WORKER = None
 
 
 def _init_worker(
-    compiled, datasets, device, seed: int, noise: float, plan=None
+    compiled, datasets, device, seed: int, noise: float, plan=None,
+    codegen_cache: str | None = None,
 ) -> None:
     global _WORKER
     from repro.tuning.tuner import Autotuner
 
+    if codegen_cache is not None:
+        # pin the coordinator's resolved kernel-cache directory so every
+        # worker shares one compile cache (a kernel compiled by any process
+        # is a disk hit for all the others)
+        from repro.exec import compile_cache
+
+        compile_cache.set_dir(codegen_cache)
     if plan is not None:
         faults.activate(plan)
         try:
@@ -137,6 +145,9 @@ class BatchExecutor:
         #: the plan replacement workers are built against; its
         #: ``worker_crash`` budget shrinks as crashes are observed
         self._plan = faults.active_plan()
+        from repro.exec import compile_cache
+
+        self._codegen_cache = compile_cache.shared_dir()
         self._pool: ProcessPoolExecutor | None = self._spawn_pool()
 
     def _spawn_pool(self) -> ProcessPoolExecutor:
@@ -149,7 +160,7 @@ class BatchExecutor:
             max_workers=self.workers,
             mp_context=multiprocessing.get_context("spawn"),
             initializer=_init_worker,
-            initargs=self._initargs + (self._plan,),
+            initargs=self._initargs + (self._plan, self._codegen_cache),
         )
         # fail fast: surface a worker that dies (or hangs) while starting
         # up as a clear error instead of hanging the first evaluate()

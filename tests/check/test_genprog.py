@@ -98,7 +98,10 @@ def test_corpus_exists_and_replays():
         assert report.ok, (name, report.to_json())
 
 
-@pytest.mark.parametrize("kind", ["colred", "matloop", "vif", "sum", "scanmap"])
+@pytest.mark.parametrize(
+    "kind",
+    ["colred", "matloop", "vif", "sum", "scanmap", "dif", "dloop", "vintr"],
+)
 def test_corpus_covers_flattening_rules(kind):
     """The seed corpus must keep exercising each interesting recipe kind."""
     blob = "".join(

@@ -39,6 +39,17 @@ Commands
   the span tracer and print an aggregated summary; ``--trace`` writes a
   Chrome-trace JSON file for ``chrome://tracing`` / Perfetto (see
   ``docs/observability.md``).
+* ``serve --socket PATH | --port N [--spool DIR] [--runners N]
+  [--max-depth N]`` — run the tuning service daemon: accepts
+  tune/compile/run jobs over a JSON-lines socket API with per-tenant
+  fair-share scheduling, admission control and a content-addressed
+  artifact store; SIGTERM drains in-flight jobs before exiting
+  (``docs/service.md``).
+* ``submit PROG [--kind tune|compile|run] [--tenant T] [--priority
+  high|normal] [--stream | --wait S] ...`` — submit a job to a running
+  daemon; ``--stream`` prints the job's progress events as JSON lines.
+* ``jobs`` / ``cancel JOB`` / ``fetch JOB [--output F]`` — list a
+  daemon's jobs, cancel one, or fetch a finished job's artifact.
 
 ``show``, ``simulate``, ``tune`` and ``check`` also accept
 ``--trace out.json`` to capture a trace of that command.
@@ -57,6 +68,7 @@ program, malformed file, device mismatch, ...) reported as a single
 from __future__ import annotations
 
 import argparse
+import json as _json
 import os
 import sys
 
@@ -342,7 +354,17 @@ def cmd_tune(args) -> int:
             save_telemetry(tpath, res, cp, device=device.name)
             print(f"wrote {tpath}")
         if ckpt is not None and os.path.exists(ckpt):
-            os.unlink(ckpt)
+            if getattr(res, "deadline_hit", False):
+                # the time budget — not the proposal budget — ended the
+                # search: the checkpoint still holds measurements a later
+                # --resume can extend, so deleting it here would destroy
+                # real (on hardware: irreproducible) observations
+                print(
+                    f"time budget hit at {res.proposals} proposal(s): "
+                    f"keeping {ckpt} (use --resume to continue)"
+                )
+            else:
+                os.unlink(ckpt)
     return 0
 
 
@@ -572,6 +594,181 @@ def cmd_check(args) -> int:
         set_validation(None)
 
 
+# -- tuning service (docs/service.md) ------------------------------------------
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    if args.socket is None and args.port is None:
+        raise UserError("need --socket PATH or --port N to reach the daemon")
+    return ServiceClient(socket_path=args.socket, host=args.host,
+                         port=args.port)
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import ServiceDaemon
+
+    if args.socket is None and args.port is None:
+        raise UserError("serve needs --socket PATH and/or --port N")
+
+    def log(msg: str) -> None:
+        print(f"[serve] {msg}", flush=True)
+
+    daemon = ServiceDaemon(
+        args.spool,
+        socket_path=args.socket,
+        port=args.port,
+        host=args.host,
+        runners=args.runners,
+        max_depth=args.max_depth,
+        retry_after_s=args.retry_after,
+        store_dir=args.store,
+        store_max=args.store_max,
+        log=log,
+    )
+    daemon.start()
+    # clean shutdown on SIGTERM/SIGINT: stop admitting, drain in-flight
+    # jobs, then exit 0 — a kill -9 instead leaves the spool behind and
+    # the next start resumes interrupted jobs from their checkpoints
+    signal.signal(signal.SIGTERM, lambda *_: daemon.request_shutdown())
+    signal.signal(signal.SIGINT, lambda *_: daemon.request_shutdown())
+    return daemon.serve_until_shutdown()
+
+
+def _submit_spec(args) -> dict:
+    """The job-spec document for ``repro submit``'s flags."""
+    job: dict = {"kind": args.kind, "mode": args.mode}
+    if os.path.exists(args.program):
+        with open(args.program) as fh:
+            job["source"] = fh.read()
+    else:
+        job["program"] = args.program
+    if args.kind == "tune":
+        datasets = [_parse_kv([d]) for d in args.dataset]
+        if not datasets:
+            try:
+                from repro.bench.datasets import training_datasets
+
+                datasets = [dict(d) for d in training_datasets(args.program)]
+            except ValueError:
+                raise UserError(
+                    "submit needs at least one --dataset n=...,m=..."
+                ) from None
+        job.update(
+            datasets=datasets, device=args.device, technique=args.technique,
+            proposals=args.proposals, seed=args.seed,
+            batch_size=args.batch_size, workers=args.workers,
+        )
+    elif args.kind == "run":
+        job.update(
+            sizes=_parse_kv(args.size), seed=args.seed, engine=args.engine,
+            thresholds=_parse_kv(args.threshold),
+        )
+    return job
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    job = _submit_spec(args)
+    try:
+        if args.stream:
+            # every line is one JSON document: the admission reply, then
+            # the job's event stream through its terminal event
+            final = None
+            for doc in client.submit_stream(job, tenant=args.tenant,
+                                            priority=args.priority):
+                print(_json.dumps(doc, sort_keys=True), flush=True)
+                if doc.get("event") in ("done", "failed", "canceled"):
+                    final = doc["event"]
+            return 0 if final == "done" else 1
+        reply = client.submit(job, tenant=args.tenant, priority=args.priority)
+        job_id = reply["job"]
+        if args.wait is not None:
+            res = client.result(job_id, wait=args.wait)
+            state = res.get("state")
+            print(f"job {job_id} {state}"
+                  + (" (cached)" if res.get("cached") else ""))
+            return 0 if state == "done" else 1
+        print(f"job {job_id} queued (depth {reply.get('depth')})")
+        return 0
+    except ServiceError as exc:
+        if exc.code == 429:
+            print(f"repro: submit rejected: {exc} "
+                  f"(retry after {exc.retry_after_s:g}s)", file=sys.stderr)
+            return 1
+        raise UserError(str(exc)) from None
+
+
+def cmd_jobs(args) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        ping = client.ping()
+        jobs = client.jobs()
+    except ServiceError as exc:
+        raise UserError(str(exc)) from None
+    if args.json:
+        print(_json.dumps({"ping": ping, "jobs": jobs}, indent=2,
+                          sort_keys=True))
+        return 0
+    queue = ping.get("queue", {})
+    print(f"queue depth {queue.get('depth', 0)}; "
+          f"served per tenant: {queue.get('served') or '{}'}")
+    for s in jobs:
+        flags = " cached" if s.get("cached") else ""
+        err = f"  ({s['error']})" if s.get("error") else ""
+        print(f"  {s['id']:>4} {s['tenant']:>10} {s['priority']:>6} "
+              f"{s['kind']:>7} {s['program']:<14} {s['state']}{flags}{err}")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    from repro.service import ServiceError
+
+    try:
+        reply = _service_client(args).cancel(args.job)
+    except ServiceError as exc:
+        raise UserError(str(exc)) from None
+    if reply.get("cancel_requested"):
+        print(f"job {args.job}: cancellation requested "
+              f"(interrupts at the next batch)")
+    else:
+        print(f"job {args.job}: {reply.get('state')}")
+    return 0
+
+
+def cmd_fetch(args) -> int:
+    from repro.service import ServiceError
+
+    try:
+        res = _service_client(args).result(args.job, wait=args.wait)
+    except ServiceError as exc:
+        raise UserError(str(exc)) from None
+    if res.get("state") != "done":
+        raise UserError(
+            f"job {args.job} is {res.get('state')}"
+            + (f": {res['error']}" if res.get("error") else "")
+        )
+    artifact = res.get("artifact")
+    if artifact is None:
+        raise UserError(f"job {args.job} has no artifact "
+                        f"(store evicted or corrupted?)")
+    if args.output:
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(args.output, artifact, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    else:
+        print(_json.dumps(artifact, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -710,6 +907,82 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--faults", metavar="PLAN",
                     help="inject faults from a plan (JSON file or inline)")
     pp.add_argument("--trace", help="write a Chrome-trace JSON file")
+
+    def conn(sp_):
+        sp_.add_argument("--socket", metavar="PATH",
+                         help="daemon unix socket path")
+        sp_.add_argument("--port", type=int, metavar="N",
+                         help="daemon TCP port")
+        sp_.add_argument("--host", default="127.0.0.1",
+                         help="daemon TCP host (default 127.0.0.1)")
+
+    sv = sub.add_parser("serve", help="run the tuning service daemon")
+    conn(sv)
+    sv.add_argument("--spool", default="repro-spool", metavar="DIR",
+                    help="durable state: job records, checkpoints, artifact "
+                    "store (default: ./repro-spool)")
+    sv.add_argument("--runners", type=int, default=2,
+                    help="concurrent job runner threads (default 2)")
+    sv.add_argument("--max-depth", type=int, default=64, metavar="N",
+                    help="queue depth bound for admission control")
+    sv.add_argument("--retry-after", type=float, default=1.0, metavar="S",
+                    help="retry-after hint on 429 rejections (seconds)")
+    sv.add_argument("--store", metavar="DIR",
+                    help="artifact store directory (default: <spool>/store)")
+    sv.add_argument("--store-max", type=int, default=None, metavar="N",
+                    help="artifact store LRU bound "
+                    "(default: REPRO_SERVICE_STORE_MAX or 256)")
+    sv.add_argument("--faults", metavar="PLAN",
+                    help="inject faults from a plan (JSON file or inline)")
+    sv.add_argument("--trace", help="write a Chrome-trace JSON file")
+
+    sb = sub.add_parser("submit", help="submit a job to a running daemon")
+    conn(sb)
+    sb.add_argument("program", help="built-in benchmark name or source file")
+    sb.add_argument("--kind", default="tune",
+                    choices=("tune", "compile", "run"))
+    sb.add_argument("--mode", default="incremental",
+                    choices=("moderate", "incremental", "full"))
+    sb.add_argument("--tenant", default="default")
+    sb.add_argument("--priority", default="normal",
+                    choices=("high", "normal"))
+    sb.add_argument("--dataset", action="append", default=[],
+                    help="tune: one dataset n=4096,m=32 (repeatable; "
+                    "defaults to the benchmark's training datasets)")
+    sb.add_argument("--device", default="K40", choices=("K40", "Vega64"))
+    sb.add_argument("--technique", default="bandit",
+                    choices=("bandit", "random", "hillclimb"))
+    sb.add_argument("--proposals", type=int, default=300)
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--batch-size", type=int, default=1)
+    sb.add_argument("--workers", type=int, default=1,
+                    help="tune: shard evaluation over N worker processes")
+    sb.add_argument("--size", action="append",
+                    help="run: size binding n=4 (repeatable)")
+    sb.add_argument("--threshold", action="append",
+                    help="run: threshold t0=128 (repeatable)")
+    sb.add_argument("--engine", default="scalar",
+                    choices=("scalar", "vector", "codegen"),
+                    help="run: executor engine")
+    sb.add_argument("--stream", action="store_true",
+                    help="stream the job's progress events as JSON lines")
+    sb.add_argument("--wait", type=float, default=None, metavar="S",
+                    help="block up to S seconds for the job to finish")
+
+    jp = sub.add_parser("jobs", help="list a running daemon's jobs")
+    conn(jp)
+    jp.add_argument("--json", action="store_true", help="raw JSON output")
+
+    xp = sub.add_parser("cancel", help="cancel a submitted job")
+    conn(xp)
+    xp.add_argument("job", help="job id (from submit)")
+
+    gp = sub.add_parser("fetch", help="fetch a finished job's artifact")
+    conn(gp)
+    gp.add_argument("job", help="job id (from submit)")
+    gp.add_argument("--wait", type=float, default=60.0, metavar="S",
+                    help="block up to S seconds for the job to finish")
+    gp.add_argument("--output", help="write the artifact JSON to this file")
     return p
 
 
@@ -725,6 +998,11 @@ def _run_command(args) -> int:
         "figures": cmd_figures,
         "check": cmd_check,
         "profile": cmd_profile,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
+        "cancel": cmd_cancel,
+        "fetch": cmd_fetch,
     }[args.command]
     # fault injection: --faults wins over REPRO_FAULTS; the previous
     # injector is restored afterwards so in-process callers (tests) do

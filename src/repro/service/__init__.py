@@ -1,0 +1,31 @@
+"""Tuning-as-a-service: the ``repro serve`` daemon and its client.
+
+The service layer (``docs/service.md``) turns the batch autotuner into a
+long-running multi-tenant daemon: a fair-share job queue with admission
+control (:mod:`repro.service.queue`), runner threads executing
+tune/compile/run jobs with crash-safe checkpointing
+(:mod:`repro.service.daemon`, :mod:`repro.service.jobs`), and a
+content-addressed artifact store so identical jobs never re-tune
+(:mod:`repro.service.store`).
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import JobCancelled, ServiceDaemon
+from repro.service.jobs import Job, JobSpecError, Spool, normalize_spec
+from repro.service.queue import FairShareQueue, QueueFull
+from repro.service.store import ArtifactStore, job_key
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceDaemon",
+    "JobCancelled",
+    "Job",
+    "JobSpecError",
+    "Spool",
+    "normalize_spec",
+    "FairShareQueue",
+    "QueueFull",
+    "ArtifactStore",
+    "job_key",
+]

@@ -1,0 +1,654 @@
+"""The ``repro serve`` daemon: tuning-as-a-service over a local socket.
+
+The daemon turns the paper's batch autotuner into a long-running,
+multi-tenant service (the ROADMAP's top open item): clients submit
+tune/compile/run jobs as JSON lines over a Unix or TCP socket, the
+:class:`~repro.service.queue.FairShareQueue` schedules them across
+tenants, runner threads execute them — sharding proposal evaluation
+through :class:`~repro.tuning.parallel.BatchExecutor` when a job asks
+for ``workers > 1`` — and finished artifacts land in the
+content-addressed :class:`~repro.service.store.ArtifactStore`, so an
+identical job from any tenant returns without evaluating a proposal.
+
+Wire protocol (one JSON object per line, ``docs/service.md``):
+
+========  =====================================================
+op        reply
+========  =====================================================
+ping      daemon stats: queue depth per tenant, served counts,
+          ``service.*`` perf counters
+submit    ``{"ok": true, "job": id}`` — or a ``429`` rejection
+          with ``retry_after_s`` when admission control refuses;
+          with ``"stream": true`` the reply is followed by the
+          job's event lines through its terminal event
+jobs      summaries of every known job
+status    one job's summary
+events    a job's event log from a sequence number
+result    blocks for the terminal state, returns the artifact
+cancel    cancel a queued job, or interrupt a running one at its
+          next batch boundary (its checkpoint survives)
+shutdown  begin graceful shutdown: stop admitting, drain
+========  =====================================================
+
+Crash-safety is inherited rather than reinvented: every job persists a
+record in the spool on each state change, tuning jobs checkpoint through
+the PR 5 ``--resume`` machinery into ``<spool>/ckpt/``, and a daemon
+that is ``kill -9``'d mid-job re-enqueues its interrupted jobs on
+restart and resumes them to bit-identical artifacts.  The PR 5 fault
+injector composes transparently (``repro serve --faults PLAN``):
+``worker_crash`` fires inside evaluation workers and is absorbed by
+:class:`BatchExecutor`; ``process_kill`` at ``tuner.batch`` kills the
+daemon itself (exit 137) — the chaos recipe CI runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import socket
+import threading
+import time
+from typing import Any
+
+from repro import perf
+from repro.obs import trace as obs
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    Job,
+    JobSpecError,
+    Spool,
+    artifact_key,
+    normalize_spec,
+)
+from repro.service.queue import FairShareQueue, QueueFull
+from repro.service.store import ArtifactStore
+
+__all__ = ["ServiceDaemon", "JobCancelled"]
+
+
+class JobCancelled(Exception):
+    """Raised inside a running job's progress callback to interrupt it."""
+
+
+def _resolve_program(spec: dict):
+    """The job's program: a built-in benchmark or submitted source text."""
+    if spec.get("source"):
+        from repro.parser import parse_program
+
+        return parse_program(spec["source"])
+    name = spec["program"]
+    from repro.bench.programs.locvolcalib import locvolcalib_program
+    from repro.bench.programs.matmul import matmul_program
+    from repro.bench.runner import BULK_BENCHMARKS
+
+    table = {"matmul": matmul_program, "LocVolCalib": locvolcalib_program}
+    for nm, bench in BULK_BENCHMARKS.items():
+        table[nm] = bench.program
+    for key, mk in table.items():
+        if key.lower() == str(name).lower():
+            return mk()
+    raise JobSpecError(
+        f"unknown program {name!r} (built-ins: {', '.join(table)})"
+    )
+
+
+def _device(name: str):
+    from repro.gpu import K40, VEGA64
+
+    return {"K40": K40, "Vega64": VEGA64}[name]
+
+
+def _check_sizes(prog, sizes: dict, what: str) -> None:
+    missing = sorted(prog.size_vars() - sizes.keys())
+    if missing:
+        raise JobSpecError(f"{what} must bind size(s) {', '.join(missing)}")
+
+
+def _json_cost(cost: float) -> float | None:
+    # progress events are strict JSON; an unmeasured best is null, not inf
+    return cost if isinstance(cost, (int, float)) and math.isfinite(cost) else None
+
+
+class ServiceDaemon:
+    """One service instance: listeners + queue + runners + spool + store."""
+
+    def __init__(
+        self,
+        spool_dir: str,
+        socket_path: str | None = None,
+        port: int | None = None,
+        host: str = "127.0.0.1",
+        runners: int = 2,
+        max_depth: int = 64,
+        retry_after_s: float = 1.0,
+        store_dir: str | None = None,
+        store_max: int | None = None,
+        log=None,
+    ):
+        if socket_path is None and port is None:
+            raise ValueError("daemon needs a --socket path or a --port")
+        self.spool = Spool(spool_dir)
+        self.store = ArtifactStore(
+            store_dir or os.path.join(self.spool.root, "store"), store_max
+        )
+        self.queue = FairShareQueue(max_depth=max_depth, retry_after_s=retry_after_s)
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port  # rebound to the real port after bind when 0
+        self.n_runners = int(runners)
+        self._log_fn = log if log is not None else (lambda msg: None)
+        self.jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+        self._listeners: list[socket.socket] = []
+        self._threads: list[threading.Thread] = []
+        self._runners: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._shutdown_requested = threading.Event()
+        self._started = False
+
+    def _log(self, msg: str) -> None:
+        self._log_fn(msg)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind listeners, recover the spool, start runner threads."""
+        self._recover()
+        if self.socket_path is not None:
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)  # stale socket from a kill -9
+            srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            srv.bind(self.socket_path)
+            srv.listen(16)
+            srv.settimeout(0.2)
+            self._listeners.append(srv)
+            self._log(f"listening on unix socket {self.socket_path}")
+        if self.port is not None:
+            srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            srv.bind((self.host, self.port))
+            srv.listen(16)
+            srv.settimeout(0.2)
+            self.port = srv.getsockname()[1]
+            self._listeners.append(srv)
+            self._log(f"listening on {self.host}:{self.port}")
+        for srv in self._listeners:
+            t = threading.Thread(target=self._accept_loop, args=(srv,), daemon=True)
+            t.start()
+            self._threads.append(t)
+        for i in range(self.n_runners):
+            t = threading.Thread(target=self._runner_loop, name=f"runner-{i}")
+            t.start()
+            self._runners.append(t)
+        self._started = True
+        self._log(
+            f"serving with {self.n_runners} runner(s), "
+            f"queue depth {self.queue.max_depth}, "
+            f"store at {self.store.directory}"
+        )
+
+    def _recover(self) -> None:
+        """Re-register spooled jobs; re-enqueue the ones a crash cut short.
+
+        A ``running`` record means the previous daemon died mid-job; its
+        tuning checkpoint (if any) is in the spool, so re-running the job
+        resumes it bit-identically rather than starting over.
+        """
+        for job in self.spool.load_all(self._log):
+            with self._id_lock:
+                try:
+                    self._next_id = max(self._next_id, int(job.id[1:]))
+                except ValueError:
+                    pass
+            with self._jobs_lock:
+                self.jobs[job.id] = job
+            if job.state in TERMINAL_STATES:
+                continue
+            interrupted = job.state == "running"
+            job.set_state("queued")
+            job.emit("requeued", recovered=interrupted)
+            try:
+                self.queue.put(job.tenant, job.priority, job)
+            except QueueFull as exc:
+                job.set_state("failed", error=str(exc))
+                job.emit("failed", error=str(exc))
+                self.spool.save(job)
+                continue
+            self.spool.save(job)
+            perf.inc("service.jobs.recovered")
+            self._log(
+                f"recovered job {job.id} ({job.tenant}/{job.priority}"
+                f"{', interrupted mid-run' if interrupted else ''})"
+            )
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (signal-safe; SIGTERM lands here)."""
+        self._shutdown_requested.set()
+
+    def serve_until_shutdown(self) -> int:
+        """Block until shutdown is requested, then drain and stop."""
+        self._shutdown_requested.wait()
+        self._log("shutdown requested: draining in-flight jobs")
+        self.queue.close()  # refuse new work; admitted jobs stay takeable
+        for t in self._runners:
+            t.join()
+        self._stop.set()
+        for srv in self._listeners:
+            try:
+                srv.close()
+            except OSError:
+                pass
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        self._log("drained; bye")
+        return 0
+
+    def stop(self) -> None:
+        """Request shutdown and wait for the drain (tests, embedders)."""
+        self.request_shutdown()
+        self.serve_until_shutdown()
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self, srv: socket.socket) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = srv.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            t = threading.Thread(target=self._handle_conn, args=(conn,), daemon=True)
+            t.start()
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        try:
+            rd = conn.makefile("r", encoding="utf-8", newline="\n")
+            wr = conn.makefile("w", encoding="utf-8", newline="\n")
+            for line in rd:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    req = json.loads(line)
+                except ValueError:
+                    self._send(wr, {"ok": False, "code": 400,
+                                    "error": "request is not valid JSON"})
+                    continue
+                try:
+                    self._dispatch(req if isinstance(req, dict) else {}, wr)
+                except (BrokenPipeError, ConnectionResetError):
+                    return
+                except Exception as exc:  # never kill the daemon on one request
+                    self._send(wr, {"ok": False, "code": 500, "error": str(exc)})
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _send(wr, doc: dict) -> None:
+        wr.write(json.dumps(doc, sort_keys=True) + "\n")
+        wr.flush()
+
+    def _dispatch(self, req: dict, wr) -> None:
+        op = req.get("op")
+        if op == "ping":
+            self._send(wr, self._ping_doc())
+        elif op == "submit":
+            self._op_submit(req, wr)
+        elif op == "jobs":
+            with self._jobs_lock:
+                summaries = [self.jobs[k].summary() for k in sorted(self.jobs)]
+            self._send(wr, {"ok": True, "jobs": summaries,
+                            "queue": self.queue.per_tenant()})
+        elif op == "status":
+            job = self._job_or_error(req, wr)
+            if job is not None:
+                self._send(wr, {"ok": True, **job.summary()})
+        elif op == "events":
+            job = self._job_or_error(req, wr)
+            if job is not None:
+                seq = int(req.get("from", 0))
+                wait = float(req.get("wait", 0) or 0)
+                self._send(wr, {"ok": True, "job": job.id,
+                                "events": job.events_from(seq, wait or None)})
+        elif op == "result":
+            self._op_result(req, wr)
+        elif op == "cancel":
+            job = self._job_or_error(req, wr)
+            if job is not None:
+                self._send(wr, self._cancel(job))
+        elif op == "shutdown":
+            self._send(wr, {"ok": True, "draining": self.queue.depth()})
+            self.request_shutdown()
+        else:
+            self._send(wr, {"ok": False, "code": 400,
+                            "error": f"unknown op {op!r}"})
+
+    def _ping_doc(self) -> dict:
+        with self._jobs_lock:
+            states: dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        counters = {
+            k: v for k, v in perf.counters().items() if k.startswith("service.")
+        }
+        return {
+            "ok": True,
+            "pong": True,
+            "jobs": states,
+            "queue": {"depth": self.queue.depth(),
+                      "pending": self.queue.per_tenant(),
+                      "served": dict(self.queue.served)},
+            "counters": counters,
+        }
+
+    def _job_or_error(self, req: dict, wr) -> Job | None:
+        job_id = str(req.get("job", ""))
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            self._send(wr, {"ok": False, "code": 404,
+                            "error": f"unknown job {job_id!r}"})
+        return job
+
+    # -- ops -----------------------------------------------------------------
+
+    def _op_submit(self, req: dict, wr) -> None:
+        tenant = str(req.get("tenant") or "default")
+        priority = str(req.get("priority") or "normal")
+        try:
+            spec = normalize_spec(req.get("job"))
+            with self._id_lock:
+                self._next_id += 1
+                job = Job(f"j{self._next_id}", tenant, priority, spec)
+        except JobSpecError as exc:
+            perf.inc("service.jobs.rejected")
+            self._send(wr, {"ok": False, "code": 400, "error": str(exc)})
+            return
+        # record first, then admit: a job visible in the queue always has
+        # a spool record for crash recovery to find
+        with self._jobs_lock:
+            self.jobs[job.id] = job
+        self.spool.save(job)
+        try:
+            depth = self.queue.put(tenant, priority, job)
+        except QueueFull as exc:
+            with self._jobs_lock:
+                del self.jobs[job.id]
+            try:
+                os.unlink(self.spool.record_path(job.id))
+            except OSError:
+                pass
+            perf.inc("service.jobs.rejected")
+            self._send(wr, {"ok": False, "code": 429, "error": "queue full",
+                            "depth": exc.depth,
+                            "retry_after_s": exc.retry_after_s})
+            return
+        except RuntimeError:
+            with self._jobs_lock:
+                del self.jobs[job.id]
+            self._send(wr, {"ok": False, "code": 503,
+                            "error": "daemon is shutting down"})
+            return
+        perf.inc("service.jobs.submitted")
+        job.emit("queued", tenant=tenant, priority=priority, depth=depth)
+        self.spool.save(job)
+        self._send(wr, {"ok": True, "job": job.id, "state": "queued",
+                        "depth": depth})
+        if req.get("stream"):
+            self._stream_events(job, wr)
+
+    def _stream_events(self, job: Job, wr) -> None:
+        """Forward the job's events as JSON lines through its terminal one."""
+        seq = 0
+        while True:
+            for ev in job.events_from(seq, timeout=0.5):
+                self._send(wr, ev)
+                seq = ev["seq"] + 1
+            if job.state in TERMINAL_STATES and seq >= len(job.events):
+                return
+
+    def _op_result(self, req: dict, wr) -> None:
+        job = self._job_or_error(req, wr)
+        if job is None:
+            return
+        wait = req.get("wait")
+        if wait is not None and job.state not in TERMINAL_STATES:
+            job.wait_terminal(float(wait))
+        doc: dict[str, Any] = {"ok": True, **job.summary()}
+        if job.state == "done" and job.key:
+            # re-read through the integrity-checking store path
+            payload = None
+            fp = self._fingerprint_of(job)
+            if fp is not None:
+                payload = self.store.load(job.key, fp)
+            doc["artifact"] = payload
+        elif job.state not in TERMINAL_STATES:
+            doc["ok"] = False
+            doc["code"] = 408
+            doc["error"] = f"job {job.id} still {job.state}"
+        self._send(wr, doc)
+
+    def _fingerprint_of(self, job: Job) -> str | None:
+        try:
+            from repro.compiler import compile_program
+            from repro.tuning.persist import branching_tree_hash
+
+            cp = compile_program(_resolve_program(job.spec), job.spec["mode"])
+            _key, fp = artifact_key(job.spec, branching_tree_hash(cp))
+            return fp
+        except Exception:
+            return None
+
+    def _cancel(self, job: Job) -> dict:
+        if job.state in TERMINAL_STATES:
+            return {"ok": True, "job": job.id, "state": job.state,
+                    "note": "already terminal"}
+        removed = self.queue.remove(lambda item: item is job)
+        if removed is not None:
+            job.set_state("canceled")
+            job.emit("canceled", while_state="queued")
+            self.spool.save(job)
+            perf.inc("service.jobs.canceled")
+            return {"ok": True, "job": job.id, "state": "canceled"}
+        # running (or about to run): the runner observes the flag at its
+        # next batch boundary; the job's checkpoint survives cancellation
+        job.cancel_requested = True
+        return {"ok": True, "job": job.id, "state": job.state,
+                "cancel_requested": True}
+
+    # -- execution -----------------------------------------------------------
+
+    def _runner_loop(self) -> None:
+        while True:
+            job = self.queue.take(timeout=0.5)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        if job.cancel_requested:
+            job.set_state("canceled")
+            job.emit("canceled", while_state="queued")
+            self.spool.save(job)
+            perf.inc("service.jobs.canceled")
+            return
+        job.set_state("running")
+        self.spool.save(job)
+        t0 = time.perf_counter()
+        with obs.span("service.job", cat="service", job=job.id,
+                      tenant=job.tenant, kind=job.spec["kind"],
+                      program=job.spec.get("program") or "<source>") as sp:
+            try:
+                evaluated = self._execute(job)
+                sp["cached"] = job.cached
+                sp["evaluated"] = evaluated
+                job.set_state("done")
+                job.emit(
+                    "done", key=job.key, cached=job.cached,
+                    proposals_evaluated=evaluated,
+                    elapsed_s=round(time.perf_counter() - t0, 6),
+                )
+                perf.inc("service.jobs.completed")
+            except JobCancelled:
+                sp["canceled"] = True
+                job.set_state("canceled")
+                job.emit("canceled", while_state="running")
+                perf.inc("service.jobs.canceled")
+            except Exception as exc:
+                sp["error"] = str(exc)
+                job.set_state("failed", error=str(exc))
+                job.emit("failed", error=str(exc))
+                perf.inc("service.jobs.failed")
+                self._log(f"job {job.id} failed: {exc}")
+        self.spool.save(job)
+
+    def _execute(self, job: Job) -> int:
+        """Run one job; returns the number of proposals evaluated (0 when
+        the artifact came from the store)."""
+        from repro.compiler import compile_program
+        from repro.tuning.persist import branching_tree_hash
+
+        spec = job.spec
+        prog = _resolve_program(spec)
+        cp = compile_program(prog, spec["mode"])
+        key, fp = artifact_key(spec, branching_tree_hash(cp))
+        job.key = key
+        job.emit("started", key=key)
+        payload = self.store.load(key, fp)
+        if payload is not None:
+            job.cached = True
+            job.emit("cached", key=key)
+            return 0
+        if spec["kind"] == "tune":
+            payload, evaluated = self._execute_tune(job, cp)
+        elif spec["kind"] == "compile":
+            payload, evaluated = self._execute_compile(job, cp)
+        else:
+            payload, evaluated = self._execute_run(job, prog, cp)
+        self.store.store(key, fp, payload)
+        ckpt = self.spool.ckpt_path(job.id)
+        if os.path.exists(ckpt):
+            os.unlink(ckpt)  # the artifact is durable; the checkpoint isn't needed
+        return evaluated
+
+    def _execute_tune(self, job: Job, cp) -> tuple[dict, int]:
+        from repro.tuning import Autotuner
+        from repro.tuning import persist
+
+        spec = job.spec
+        for ds in spec["datasets"]:
+            _check_sizes(cp.prog, ds, "each dataset")
+        device = _device(spec["device"])
+        ckpt = self.spool.ckpt_path(job.id)
+        tuner = Autotuner(cp, spec["datasets"], device,
+                          seed=spec["seed"], noise=spec["noise"])
+        if os.path.exists(ckpt):
+            try:
+                doc = persist.load_checkpoint(
+                    ckpt, cp, device=device.name, datasets=spec["datasets"]
+                )
+                tuner.preload_measurements(doc["measurements"], doc["quarantined"])
+                job.emit(
+                    "resumed", checkpointed=doc["proposals_done"],
+                    measurements=sum(len(m) for m in doc["measurements"]),
+                )
+            except persist.TuningFileError as exc:
+                self._log(f"job {job.id}: discarding stale checkpoint ({exc})")
+                os.unlink(ckpt)
+        total = spec["proposals"]
+        every = max(1, total // 20)
+        last_emit = 0
+
+        def progress(proposals: int, best_cost: float) -> None:
+            nonlocal last_emit
+            if job.cancel_requested:
+                raise JobCancelled(job.id)
+            if proposals - last_emit >= every or proposals >= total:
+                last_emit = proposals
+                job.emit("progress", proposals=proposals, total=total,
+                         best_cost=_json_cost(best_cost))
+
+        res = tuner.tune(
+            max_proposals=total,
+            technique=spec["technique"],
+            workers=spec["workers"],
+            batch_size=spec["batch_size"],
+            checkpoint_path=ckpt,
+            checkpoint_every=spec["checkpoint_every"],
+            progress=progress,
+        )
+        # the artifact embeds the exact documents `repro tune --output`
+        # writes, so daemon and CLI artifacts are byte-identical
+        payload = {
+            "kind": "tune",
+            "thresholds": persist.thresholds_doc(
+                cp, res.best_thresholds, device=device.name,
+                datasets=spec["datasets"],
+            ),
+            "telemetry": persist.telemetry_doc(res, cp, device=device.name),
+        }
+        return payload, res.proposals
+
+    def _execute_compile(self, job: Job, cp) -> tuple[dict, int]:
+        from repro.codegen.opencl import generate_opencl
+        from repro.tuning.persist import branching_tree_hash
+
+        code = generate_opencl(cp)
+        source = code.full_source()
+        payload = {
+            "kind": "compile",
+            "program": cp.prog.name,
+            "mode": cp.mode,
+            "branching_tree": branching_tree_hash(cp),
+            "thresholds": sorted(cp.thresholds()),
+            "num_kernels": code.num_kernels,
+            "loc": code.loc,
+            "source_sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        }
+        return payload, 0
+
+    def _execute_run(self, job: Job, prog, cp) -> tuple[dict, int]:
+        import numpy as np
+
+        from repro.cli import _random_inputs
+
+        spec = job.spec
+        _check_sizes(prog, spec["sizes"], "'sizes'")
+        inputs = _random_inputs(prog, spec["sizes"], spec["seed"])
+        outs = cp.run(inputs, thresholds=spec["thresholds"] or None,
+                      engine=spec["engine"])
+        digests = []
+        for out in outs:
+            arr = np.asarray(out)
+            digests.append({
+                "shape": list(arr.shape),
+                "dtype": str(arr.dtype),
+                "sha256": hashlib.sha256(
+                    np.ascontiguousarray(arr).tobytes()
+                ).hexdigest(),
+            })
+        payload = {
+            "kind": "run",
+            "program": prog.name,
+            "mode": spec["mode"],
+            "engine": spec["engine"],
+            "sizes": dict(spec["sizes"]),
+            "seed": spec["seed"],
+            "outputs": digests,
+        }
+        return payload, 0

@@ -1,0 +1,167 @@
+"""The service job queue: per-tenant fair-share, priority lanes,
+admission control.
+
+Scheduling semantics (documented in ``docs/service.md``):
+
+* **Fair-share across tenants.**  Tenants are served round-robin in
+  first-seen order: each :meth:`FairShareQueue.take` advances a rotating
+  pointer to the next tenant with pending jobs, so two tenants flooding
+  the queue converge to equal served-job counts regardless of how many
+  jobs each has queued.
+* **Priority lanes within a tenant.**  Each tenant has a ``high`` and a
+  ``normal`` lane; when a tenant's turn comes, its ``high`` lane drains
+  first, FIFO within each lane.  Priority never lets one tenant starve
+  another — fairness is applied before priority.
+* **Admission control / back-pressure.**  Total queue depth is bounded;
+  a submission beyond the bound raises :class:`QueueFull` carrying a
+  ``retry_after_s`` hint, which the daemon maps to a ``429``-style wire
+  rejection.  Rejection is deterministic: the (depth+1)-th concurrent
+  submission is refused, always.
+
+The queue is thread-safe; :meth:`take` blocks on a condition variable
+(no polling) and returns ``None`` once the queue is closed and drained,
+which is how runner threads learn to exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["PRIORITIES", "QueueFull", "FairShareQueue"]
+
+#: recognised priority lanes, highest first
+PRIORITIES = ("high", "normal")
+
+
+class QueueFull(Exception):
+    """Admission control refused a submission (queue at max depth)."""
+
+    def __init__(self, depth: int, retry_after_s: float):
+        super().__init__(
+            f"queue full ({depth} jobs pending); retry after {retry_after_s:g}s"
+        )
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+class FairShareQueue:
+    """Bounded multi-tenant queue with round-robin fair-share."""
+
+    def __init__(self, max_depth: int = 64, retry_after_s: float = 1.0):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self.retry_after_s = float(retry_after_s)
+        self._lanes: dict[str, dict[str, deque]] = {}
+        self._order: list[str] = []  # tenants in first-seen order
+        self._next = 0  # rotating fair-share pointer into _order
+        self._depth = 0
+        self._closed = False
+        self._cond = threading.Condition()
+        #: jobs served per tenant (fairness telemetry)
+        self.served: dict[str, int] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    def put(self, tenant: str, priority: str, item: Any) -> int:
+        """Enqueue ``item``; returns the queue depth after admission.
+
+        Raises :class:`QueueFull` when the queue is at ``max_depth`` and
+        :class:`RuntimeError` once the queue is closed.
+        """
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r} (expected one of {PRIORITIES})"
+            )
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if self._depth >= self.max_depth:
+                raise QueueFull(self._depth, self.retry_after_s)
+            lanes = self._lanes.get(tenant)
+            if lanes is None:
+                lanes = self._lanes[tenant] = {p: deque() for p in PRIORITIES}
+                self._order.append(tenant)
+            lanes[priority].append(item)
+            self._depth += 1
+            self._cond.notify()
+            return self._depth
+
+    # -- scheduling ----------------------------------------------------------
+
+    def take(self, timeout: float | None = None) -> Any | None:
+        """The next job under fair-share + priority, or ``None``.
+
+        Blocks until a job is available, the timeout elapses, or the
+        queue is closed with nothing left (all three return ``None``
+        except the first, which returns the job).
+        """
+        with self._cond:
+            while True:
+                item = self._pop_locked()
+                if item is not None:
+                    return item
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def _pop_locked(self) -> Any | None:
+        n = len(self._order)
+        for off in range(n):
+            idx = (self._next + off) % n
+            lanes = self._lanes[self._order[idx]]
+            for priority in PRIORITIES:
+                if lanes[priority]:
+                    item = lanes[priority].popleft()
+                    tenant = self._order[idx]
+                    self.served[tenant] = self.served.get(tenant, 0) + 1
+                    self._depth -= 1
+                    self._next = (idx + 1) % n  # advance past the served tenant
+                    return item
+        return None
+
+    # -- management ----------------------------------------------------------
+
+    def remove(self, match) -> Any | None:
+        """Remove and return the first queued item with ``match(item)``
+        true (cancellation), or ``None`` if no queued item matches."""
+        with self._cond:
+            for lanes in self._lanes.values():
+                for lane in lanes.values():
+                    for item in lane:
+                        if match(item):
+                            lane.remove(item)
+                            self._depth -= 1
+                            return item
+        return None
+
+    def depth(self) -> int:
+        with self._cond:
+            return self._depth
+
+    def per_tenant(self) -> dict[str, dict[str, int]]:
+        """Pending counts per tenant and lane (for ``repro jobs``/ping)."""
+        with self._cond:
+            return {
+                tenant: {p: len(lane) for p, lane in lanes.items() if lane}
+                for tenant, lanes in self._lanes.items()
+                if any(lanes.values())
+            }
+
+    def close(self) -> None:
+        """Refuse new work and wake every blocked :meth:`take`.
+
+        Already-admitted jobs stay takeable — the drain half of graceful
+        shutdown: runners keep taking until the queue is empty, then get
+        ``None`` and exit.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

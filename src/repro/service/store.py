@@ -1,0 +1,179 @@
+"""Content-addressed artifact store for the tuning service.
+
+The ``repro serve`` daemon (:mod:`repro.service.daemon`) caches finished
+job artifacts — tuned thresholds + convergence telemetry, compile
+metadata, run digests — under a key derived from everything that
+determines the result: the *program fingerprint* (name, flattening mode
+and branching-tree hash), the device, the dataset shape signature and the
+tuner configuration.  Two tenants submitting the same job therefore share
+one evaluation: the second submission is a warm hit and completes without
+evaluating a single proposal.
+
+The layout and failure model are patterned on the codegen compile cache
+(:mod:`repro.exec.compile_cache`): one ``<key>.json`` file per artifact,
+where ``key`` is the SHA-256 of the job fingerprint string, each entry
+recording the fingerprint it was stored under plus a checksum of its
+payload, so
+
+* a *torn or truncated* entry fails JSON parsing or the checksum and
+  degrades to a miss (the job is re-evaluated, never a crash);
+* a *poisoned* entry — content copied under the wrong key, or a payload
+  edited without its checksum — fails the fingerprint/checksum match and
+  is rejected (``service.cache.bad``).
+
+The directory is mtime-LRU bounded (reads touch mtime) at
+``REPRO_SERVICE_STORE_MAX`` entries (default 256).  Writes go through
+:func:`repro.ioutil.atomic_write_json`; concurrent writers of one key
+race benignly (both wrote the same deterministic content).  Every
+filesystem error degrades to a miss.  ``REPRO_NO_CACHE`` disables the
+layer.
+
+Perf counters: ``service.cache.hit`` / ``service.cache.miss`` /
+``service.cache.bad`` / ``service.cache.eviction``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro import perf
+from repro.ioutil import atomic_write_json
+
+__all__ = ["STORE_VERSION", "DEFAULT_MAX_ENTRIES", "job_key", "ArtifactStore"]
+
+STORE_VERSION = 1
+DEFAULT_MAX_ENTRIES = 256
+
+
+def job_key(fingerprint: str) -> str:
+    """Content address of a job: SHA-256 of its fingerprint string."""
+    return hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+
+
+def _payload_checksum(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_max_entries() -> int:
+    """LRU size cap (``REPRO_SERVICE_STORE_MAX``, default 256)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SERVICE_STORE_MAX", "")))
+    except ValueError:
+        return DEFAULT_MAX_ENTRIES
+
+
+class ArtifactStore:
+    """One artifact directory with integrity checks and an LRU bound."""
+
+    def __init__(self, directory: str, max_entries: int | None = None):
+        self.directory = os.fspath(directory)
+        self.max_entries = (
+            default_max_entries() if max_entries is None else max(1, int(max_entries))
+        )
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".json")
+
+    def load(self, key: str, fingerprint: str) -> dict | None:
+        """The artifact stored under ``key``, or ``None`` (a miss).
+
+        ``fingerprint`` is the caller's full job fingerprint; an entry
+        recorded under a different fingerprint (poisoning) is rejected,
+        as is any entry that fails parsing or its payload checksum.
+        """
+        if not perf.caching_enabled():
+            perf.inc("service.cache.miss")
+            return None
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            if os.path.exists(path):
+                perf.inc("service.cache.bad")  # torn/corrupt entry
+            perf.inc("service.cache.miss")
+            return None
+        payload = doc.get("payload") if isinstance(doc, dict) else None
+        if (
+            not isinstance(payload, dict)
+            or doc.get("fingerprint") != fingerprint
+            or doc.get("sha256") != _payload_checksum(payload)
+        ):
+            perf.inc("service.cache.bad")
+            perf.inc("service.cache.miss")
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        perf.inc("service.cache.hit")
+        return payload
+
+    def store(self, key: str, fingerprint: str, payload: dict) -> bool:
+        """Persist ``payload`` under ``key``; best-effort (False on failure)."""
+        if not perf.caching_enabled():
+            return False
+        doc = {
+            "kind": "repro-service-artifact",
+            "version": STORE_VERSION,
+            "key": key,
+            "fingerprint": fingerprint,
+            "sha256": _payload_checksum(payload),
+            "payload": payload,
+        }
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            atomic_write_json(self._path(key), doc)
+        except (OSError, TypeError, ValueError):
+            return False
+        self.evict_lru()
+        return True
+
+    def evict_lru(self, cap: int | None = None) -> int:
+        """Drop oldest entries beyond the size cap; returns how many went."""
+        cap = self.max_entries if cap is None else cap
+        try:
+            names = [nm for nm in os.listdir(self.directory) if nm.endswith(".json")]
+        except OSError:
+            return 0
+        if len(names) <= cap:
+            return 0
+        aged = []
+        for nm in names:
+            try:
+                aged.append((os.path.getmtime(os.path.join(self.directory, nm)), nm))
+            except OSError:
+                continue  # concurrently evicted
+        aged.sort()
+        evicted = 0
+        for _, nm in aged[: max(0, len(aged) - cap)]:
+            try:
+                os.unlink(os.path.join(self.directory, nm))
+            except OSError:
+                continue
+            evicted += 1
+        if evicted:
+            perf.inc("service.cache.eviction", evicted)
+        return evicted
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for nm in os.listdir(self.directory) if nm.endswith(".json"))
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        """Remove every entry (tests; cold-start benchmarking)."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for nm in names:
+            if nm.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, nm))
+                except OSError:
+                    pass

@@ -54,12 +54,37 @@ WORKER_CRASH_EXIT = 23
 _WORKER = None
 
 
+def _watch_parent(ppid: int) -> None:
+    """Exit when the coordinator dies without shutting the pool down.
+
+    A spawn-based worker blocked on the call queue survives a ``kill -9``
+    of its parent indefinitely (both queue ends are open in the worker
+    itself, so it never sees EOF).  For a one-shot ``repro tune`` that is
+    a curiosity; for the long-running ``repro serve`` daemon it leaks a
+    process per worker per kill.  Reparenting (``getppid() != ppid``) is
+    the reliable death signal on POSIX.
+    """
+    import threading
+    import time as _t
+
+    def loop() -> None:
+        while True:
+            if os.getppid() != ppid:
+                os._exit(0)
+            _t.sleep(1.0)
+
+    threading.Thread(target=loop, daemon=True, name="parent-watch").start()
+
+
 def _init_worker(
     compiled, datasets, device, seed: int, noise: float, plan=None,
-    codegen_cache: str | None = None,
+    codegen_cache: str | None = None, parent_pid: int | None = None,
 ) -> None:
     global _WORKER
     from repro.tuning.tuner import Autotuner
+
+    if parent_pid is not None:
+        _watch_parent(parent_pid)
 
     if codegen_cache is not None:
         # pin the coordinator's resolved kernel-cache directory so every
@@ -160,7 +185,8 @@ class BatchExecutor:
             max_workers=self.workers,
             mp_context=multiprocessing.get_context("spawn"),
             initializer=_init_worker,
-            initargs=self._initargs + (self._plan, self._codegen_cache),
+            initargs=self._initargs
+            + (self._plan, self._codegen_cache, os.getpid()),
         )
         # fail fast: surface a worker that dies (or hangs) while starting
         # up as a clear error instead of hanging the first evaluate()

@@ -27,8 +27,10 @@ from repro.flatten import render_tree
 from repro.ioutil import atomic_write_json
 
 __all__ = [
+    "thresholds_doc",
     "save_thresholds",
     "load_thresholds",
+    "telemetry_doc",
     "save_telemetry",
     "telemetry_path",
     "save_checkpoint",
@@ -58,18 +60,22 @@ def branching_tree_hash(compiled: CompiledProgram) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def save_thresholds(
-    path: str,
+def thresholds_doc(
     compiled: CompiledProgram,
     thresholds: Mapping[str, int],
     device: str = "",
     datasets: list[dict] | None = None,
-) -> None:
-    """Write a tuning file for ``compiled``'s threshold parameters."""
+) -> dict:
+    """The tuning-file document for ``compiled``'s threshold parameters.
+
+    Shared by :func:`save_thresholds` and the service daemon's artifact
+    store, so a ``repro fetch``'d artifact is byte-identical to the file
+    ``repro tune --output`` writes for the same job.
+    """
     unknown = set(thresholds) - set(compiled.thresholds())
     if unknown:
         raise TuningFileError(f"unknown threshold name(s): {sorted(unknown)}")
-    doc = {
+    return {
         "format": _FORMAT,
         "program": compiled.prog.name,
         "mode": compiled.mode,
@@ -82,6 +88,17 @@ def save_thresholds(
         "branching_tree": branching_tree_hash(compiled),
         "datasets": datasets or [],
     }
+
+
+def save_thresholds(
+    path: str,
+    compiled: CompiledProgram,
+    thresholds: Mapping[str, int],
+    device: str = "",
+    datasets: list[dict] | None = None,
+) -> None:
+    """Write a tuning file for ``compiled``'s threshold parameters."""
+    doc = thresholds_doc(compiled, thresholds, device, datasets)
     atomic_write_json(path, doc, indent=2, sort_keys=True)
 
 
@@ -139,6 +156,23 @@ def telemetry_path(tuning_path: str) -> str:
     return tuning_path + ".telemetry.json"
 
 
+def telemetry_doc(
+    result,
+    compiled: CompiledProgram | None = None,
+    device: str = "",
+) -> dict:
+    """The telemetry document :func:`save_telemetry` writes (also stored
+    verbatim in service artifacts, keeping daemon-produced telemetry
+    byte-identical to ``repro tune``'s)."""
+    doc = result.telemetry()
+    if compiled is not None:
+        doc["program"] = compiled.prog.name
+        doc["branching_tree"] = branching_tree_hash(compiled)
+    if device:
+        doc["device"] = device
+    return doc
+
+
 def save_telemetry(
     path: str,
     result,
@@ -148,13 +182,8 @@ def save_telemetry(
     """Persist a :class:`~repro.tuning.tuner.TuningResult`'s convergence
     telemetry (best-so-far curve, threshold trajectories, branching-tree
     path counts) as JSON alongside the tuning file."""
-    doc = result.telemetry()
-    if compiled is not None:
-        doc["program"] = compiled.prog.name
-        doc["branching_tree"] = branching_tree_hash(compiled)
-    if device:
-        doc["device"] = device
-    atomic_write_json(path, doc, indent=2, sort_keys=True)
+    atomic_write_json(path, telemetry_doc(result, compiled, device),
+                      indent=2, sort_keys=True)
 
 
 # -- crash-safe tuning checkpoints ---------------------------------------------

@@ -72,6 +72,13 @@ class TuningResult:
     retries: int = 0
     #: configurations that failed deterministically: (thresholds, reason)
     quarantined: list[tuple[dict[str, int], str]] = field(default_factory=list)
+    #: the search stopped because ``time_budget_s`` expired, not because
+    #: the proposal budget was spent — callers deciding whether a
+    #: checkpoint is safe to delete need this (a deadline-ended run's
+    #: checkpoint still holds measurements a later ``--resume`` can
+    #: extend).  Deliberately NOT part of :meth:`telemetry`: a recovered
+    #: chaos run must stay byte-identical to its fault-free twin.
+    deadline_hit: bool = False
 
     @property
     def dedup_ratio(self) -> float:
@@ -481,6 +488,7 @@ class Autotuner:
         backoff_s: float | None = None,
         checkpoint_path: str | None = None,
         checkpoint_every: int = 10,
+        progress: Callable[[int, float], None] | None = None,
     ) -> TuningResult:
         """Search for the best threshold assignment.
 
@@ -507,6 +515,12 @@ class Autotuner:
         state every ``checkpoint_every`` proposals, and a tuner whose
         measurements were preloaded via :meth:`preload_measurements`
         replays a checkpointed run to the bit-identical result.
+
+        ``progress`` is called after each batch with ``(proposals,
+        best_cost)`` — the service daemon streams these to clients.  An
+        exception raised by the callback propagates out of :meth:`tune`
+        (after the final checkpoint), which is how job cancellation
+        interrupts a running search without losing its measurements.
         """
         plan = faults.active_plan()
         if retries is None:
@@ -530,6 +544,7 @@ class Autotuner:
         tech = make_technique(technique)
         best_cfg: dict[str, int] | None = None
         best_cost = float("inf")
+        deadline_hit = False
         history: list[tuple[int, float]] = []
         full_history: list[tuple[dict[str, int], float]] = []
 
@@ -568,6 +583,7 @@ class Autotuner:
             ) as tsp:
                 while proposals < max_proposals:
                     if deadline is not None and _time.monotonic() >= deadline:
+                        deadline_hit = True
                         break
                     # the batch-granular fault site: plans target it with
                     # process_kill (the kill/--resume round-trip) or delay
@@ -638,7 +654,17 @@ class Autotuner:
                             if times is None:
                                 psp["failed"] = True
                     checkpoint()
+                    if progress is not None:
+                        try:
+                            progress(proposals, best_cost)
+                        except BaseException:
+                            # a cancelling callback must not lose this
+                            # batch's measurements: checkpoint, then let
+                            # the exception interrupt the search
+                            checkpoint(force=True)
+                            raise
                     if deadline is not None and _time.monotonic() >= deadline:
+                        deadline_hit = True
                         break
                 tsp["proposals"] = proposals
                 tsp["simulations"] = self.simulations
@@ -679,4 +705,5 @@ class Autotuner:
             path_counts=self.path_counts,
             retries=self.retries,
             quarantined=self.quarantine_list(),
+            deadline_hit=deadline_hit,
         )

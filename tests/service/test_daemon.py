@@ -1,0 +1,308 @@
+"""Service daemon end-to-end: jobs, caching, cancellation, recovery, chaos.
+
+Most tests drive a real daemon in-process over a Unix socket through
+:class:`ServiceClient` — the full wire path minus process isolation.  The
+chaos test at the end uses subprocesses: a fault plan ``kill -9``'s the
+daemon mid-job (exit 137), a restart recovers the spool and resumes the
+job from its checkpoint, and the artifact must be byte-identical to a
+fault-free daemon's.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro import perf
+from repro.service import ServiceClient, ServiceDaemon, ServiceError
+
+TUNE = {"kind": "tune", "program": "matmul", "datasets": [{"n": 16, "m": 16}],
+        "proposals": 40, "batch_size": 4}
+
+
+@pytest.fixture
+def tmp():
+    # unix socket paths are length-limited (~108 bytes); pytest's tmp_path
+    # can exceed that, so use a short-lived short directory instead
+    d = tempfile.mkdtemp(prefix="repro-svc-")
+    yield d
+    shutil.rmtree(d, ignore_errors=True)
+
+
+def start(tmp, name="spool", runners=2, **kw):
+    daemon = ServiceDaemon(
+        os.path.join(tmp, name),
+        socket_path=os.path.join(tmp, name + ".sock"),
+        runners=runners,
+        **kw,
+    )
+    daemon.start()
+    return daemon, ServiceClient(socket_path=daemon.socket_path)
+
+
+class TestJobs:
+    def test_tune_job_round_trip(self, tmp):
+        daemon, client = start(tmp)
+        try:
+            reply = client.submit(TUNE, tenant="t1")
+            assert reply["ok"] and reply["state"] == "queued"
+            res = client.result(reply["job"], wait=30)
+            assert res["state"] == "done" and not res["cached"]
+            art = res["artifact"]
+            assert art["kind"] == "tune"
+            assert art["thresholds"]["program"] == "matmul"
+            assert set(art["thresholds"]["thresholds"]) == {"t0", "t1", "t2", "t3"}
+            assert art["telemetry"]["proposals"] == 40
+        finally:
+            daemon.stop()
+
+    def test_duplicate_is_cache_hit_with_zero_evaluations(self, tmp):
+        daemon, client = start(tmp)
+        try:
+            first = client.submit(TUNE, tenant="t1")
+            res1 = client.result(first["job"], wait=30)
+            hits = perf.counters().get("service.cache.hit", 0)
+            # same job, different tenant and different worker count: the
+            # fingerprint ignores result-neutral knobs, so still a hit
+            dup = dict(TUNE, workers=2)
+            second = client.submit(dup, tenant="t2")
+            res2 = client.result(second["job"], wait=30)
+            assert res2["cached"]
+            assert res2["artifact"] == res1["artifact"]
+            done = [e for e in client.events(second["job"])
+                    if e["event"] == "done"][0]
+            assert done["proposals_evaluated"] == 0
+            # at least the duplicate's execute-path load hit (result
+            # fetches re-read through the store and hit as well)
+            assert perf.counters().get("service.cache.hit", 0) >= hits + 1
+            assert client.ping()["counters"]["service.cache.hit"] >= hits + 1
+        finally:
+            daemon.stop()
+
+    def test_run_and_compile_jobs(self, tmp):
+        daemon, client = start(tmp)
+        try:
+            run_job = {"kind": "run", "program": "matmul",
+                       "sizes": {"n": 4, "m": 8}, "engine": "scalar"}
+            res = client.result(client.submit(run_job)["job"], wait=30)
+            assert res["state"] == "done"
+            assert res["artifact"]["kind"] == "run"
+            assert len(res["artifact"]["outputs"]) == 1
+            assert res["artifact"]["outputs"][0]["sha256"]
+
+            comp = {"kind": "compile", "program": "matmul"}
+            res = client.result(client.submit(comp)["job"], wait=30)
+            assert res["artifact"]["kind"] == "compile"
+            assert res["artifact"]["num_kernels"] > 0
+            assert res["artifact"]["source_sha256"]
+        finally:
+            daemon.stop()
+
+    def test_event_stream_parses_in_sequence_order(self, tmp):
+        daemon, client = start(tmp)
+        try:
+            events = list(client.submit_stream(TUNE))
+            assert events[0]["ok"]  # admission reply first
+            evs = events[1:]
+            assert [e["seq"] for e in evs] == list(range(len(evs)))
+            names = [e["event"] for e in evs]
+            assert names[0] == "queued" and names[-1] == "done"
+            assert "progress" in names
+            prog = [e for e in evs if e["event"] == "progress"]
+            assert all(e["total"] == 40 for e in prog)
+            assert prog[-1]["proposals"] == 40
+        finally:
+            daemon.stop()
+
+    def test_bad_spec_rejected_with_400(self, tmp):
+        daemon, client = start(tmp)
+        try:
+            with pytest.raises(ServiceError) as exc:
+                client.submit({"kind": "tune", "program": "matmul"})
+            assert exc.value.code == 400  # tune without datasets
+            with pytest.raises(ServiceError) as exc:
+                client.submit(TUNE, priority="urgent")
+            assert exc.value.code == 400  # unknown priority lane
+        finally:
+            daemon.stop()
+
+    def test_unknown_program_fails_the_job(self, tmp):
+        daemon, client = start(tmp)
+        try:
+            reply = client.submit(dict(TUNE, program="no-such-program"))
+            res = client.result(reply["job"], wait=30)
+            assert res["state"] == "failed"
+            assert "no-such-program" in res["error"]
+        finally:
+            daemon.stop()
+
+
+class TestAdmissionControl:
+    def test_429_over_the_wire(self, tmp):
+        # runners=0: nothing drains, so the bound is hit deterministically
+        daemon, client = start(tmp, runners=0, max_depth=2, retry_after_s=3.5)
+        try:
+            client.submit(TUNE)
+            client.submit(dict(TUNE, seed=1))
+            with pytest.raises(ServiceError) as exc:
+                client.submit(dict(TUNE, seed=2))
+            assert exc.value.code == 429
+            assert exc.value.retry_after_s == 3.5
+            # the rejected job left no trace
+            assert len(client.jobs()) == 2
+        finally:
+            daemon.stop()
+
+    def test_rejected_submission_counts(self, tmp):
+        daemon, client = start(tmp, runners=0, max_depth=1)
+        try:
+            before = perf.counters().get("service.jobs.rejected", 0)
+            client.submit(TUNE)
+            with pytest.raises(ServiceError):
+                client.submit(dict(TUNE, seed=1))
+            assert perf.counters().get("service.jobs.rejected", 0) == before + 1
+        finally:
+            daemon.stop()
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, tmp):
+        daemon, client = start(tmp, runners=0)
+        try:
+            job_id = client.submit(TUNE)["job"]
+            reply = client.cancel(job_id)
+            assert reply["state"] == "canceled"
+            assert client.status(job_id)["state"] == "canceled"
+        finally:
+            daemon.stop()
+
+    def test_cancel_running_job_interrupts_at_batch_boundary(self, tmp):
+        daemon, client = start(tmp, runners=1)
+        try:
+            big = dict(TUNE, proposals=200_000, batch_size=1)
+            job_id = client.submit(big)["job"]
+            # wait until it is actually running
+            deadline = time.time() + 15
+            while time.time() < deadline:
+                if client.status(job_id)["state"] == "running":
+                    break
+                time.sleep(0.02)
+            reply = client.cancel(job_id)
+            assert reply.get("cancel_requested") or reply["state"] == "canceled"
+            res = client.result(job_id, wait=30)
+            assert res["state"] == "canceled"
+            # the interrupted search's measurements survive as a checkpoint
+            assert os.path.exists(daemon.spool.ckpt_path(job_id))
+        finally:
+            daemon.stop()
+
+
+class TestRecovery:
+    def test_restart_recovers_queued_jobs(self, tmp):
+        daemon, client = start(tmp, runners=0)
+        job_id = client.submit(TUNE)["job"]
+        daemon.stop()
+        # a new daemon on the same spool re-enqueues and completes it
+        daemon2, client2 = start(tmp, runners=2)
+        try:
+            res = client2.result(job_id, wait=30)
+            assert res["state"] == "done"
+            evs = [e["event"] for e in client2.events(job_id)]
+            assert "requeued" in evs
+            # fresh ids continue past recovered ones
+            assert client2.submit(dict(TUNE, seed=7))["job"] != job_id
+        finally:
+            daemon2.stop()
+
+    def test_restart_preserves_terminal_jobs(self, tmp):
+        daemon, client = start(tmp)
+        job_id = client.submit(TUNE)["job"]
+        client.result(job_id, wait=30)
+        daemon.stop()
+        daemon2, client2 = start(tmp)
+        try:
+            res = client2.result(job_id, wait=5)
+            assert res["state"] == "done"
+            assert res["artifact"]["kind"] == "tune"
+        finally:
+            daemon2.stop()
+
+
+class TestChaosBitIdentity:
+    """worker_crash + daemon kill -9 + restart == fault-free, byte for byte."""
+
+    SUBMIT = ["submit", "matmul", "--dataset", "n=64,m=256",
+              "--dataset", "n=4,m=65536", "--proposals", "60",
+              "--batch-size", "4", "--workers", "2"]
+
+    @staticmethod
+    def _serve(spool, sock, logf, faults=None):
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--socket", sock, "--spool", spool]
+        if faults:
+            cmd += ["--faults", faults]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        proc = subprocess.Popen(cmd, env=env, stdout=open(logf, "a"),
+                                stderr=subprocess.STDOUT)
+        client = ServiceClient(socket_path=sock, timeout=5)
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            try:
+                client.ping()
+                return proc, client, env
+            except (ServiceError, OSError):
+                if proc.poll() is not None:
+                    raise AssertionError(open(logf).read())
+                time.sleep(0.1)
+        proc.kill()
+        raise AssertionError("daemon did not come up:\n" + open(logf).read())
+
+    def _cli(self, env, *argv):
+        out = subprocess.run([sys.executable, "-m", "repro", *argv],
+                             env=env, capture_output=True, text=True)
+        assert out.returncode == 0, out.stdout + out.stderr
+        return out
+
+    def test_killed_daemon_resumes_bit_identically(self, tmp):
+        base_sock = os.path.join(tmp, "base.sock")
+        proc, _c, env = self._serve(os.path.join(tmp, "base-spool"),
+                                    base_sock, os.path.join(tmp, "base.log"))
+        self._cli(env, *self.SUBMIT, "--socket", base_sock, "--wait", "120")
+        self._cli(env, "fetch", "j1", "--socket", base_sock,
+                  "--output", os.path.join(tmp, "base.json"))
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0  # clean drain
+
+        plan = json.dumps({"rules": [
+            {"site": "worker.eval", "kind": "worker_crash",
+             "p": 0.5, "max_fires": 1},
+            {"site": "tuner.batch", "kind": "process_kill", "at": [6]},
+        ]})
+        chaos_sock = os.path.join(tmp, "chaos.sock")
+        chaos_spool = os.path.join(tmp, "chaos-spool")
+        chaos_log = os.path.join(tmp, "chaos.log")
+        proc, _c, env = self._serve(chaos_spool, chaos_sock, chaos_log,
+                                    faults=plan)
+        self._cli(env, *self.SUBMIT, "--socket", chaos_sock)
+        assert proc.wait(timeout=120) == 137  # the injected kill fired
+
+        proc, _c, env = self._serve(chaos_spool, chaos_sock, chaos_log)
+        self._cli(env, "fetch", "j1", "--socket", chaos_sock,
+                  "--output", os.path.join(tmp, "chaos.json"))
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        assert "recovered job j1" in open(chaos_log).read()
+
+        base = open(os.path.join(tmp, "base.json")).read()
+        chaos = open(os.path.join(tmp, "chaos.json")).read()
+        assert base == chaos

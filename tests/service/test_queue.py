@@ -1,0 +1,170 @@
+"""Fair-share queue: scheduling order, back-pressure, drain semantics."""
+
+import threading
+
+import pytest
+
+from repro.service.queue import FairShareQueue, QueueFull
+
+
+def drain(q):
+    out = []
+    while True:
+        item = q.take(timeout=0)
+        if item is None:
+            return out
+        out.append(item)
+
+
+class TestFairShare:
+    def test_round_robin_across_tenants(self):
+        q = FairShareQueue(max_depth=64)
+        for i in range(4):
+            q.put("a", "normal", f"a{i}")
+        for i in range(4):
+            q.put("b", "normal", f"b{i}")
+        assert drain(q) == ["a0", "b0", "a1", "b1", "a2", "b2", "a3", "b3"]
+
+    def test_two_tenants_flooding_converge_to_equal_service(self):
+        # the satellite's acceptance shape: tenant a floods 3x harder than
+        # tenant b, yet while both have work pending they are served
+        # exactly alternately — equal shares, not proportional-to-demand
+        q = FairShareQueue(max_depth=256)
+        for i in range(90):
+            q.put("a", "normal", ("a", i))
+        for i in range(30):
+            q.put("b", "normal", ("b", i))
+        first60 = [q.take(timeout=0) for _ in range(60)]
+        assert sum(1 for t, _ in first60 if t == "a") == 30
+        assert sum(1 for t, _ in first60 if t == "b") == 30
+        assert q.served == {"a": 30, "b": 30}
+        # b exhausted: the rest is all a's, FIFO
+        rest = drain(q)
+        assert rest == [("a", i) for i in range(30, 90)]
+
+    def test_late_tenant_is_not_starved(self):
+        q = FairShareQueue(max_depth=64)
+        for i in range(10):
+            q.put("early", "normal", ("early", i))
+        assert q.take(timeout=0) == ("early", 0)
+        q.put("late", "normal", ("late", 0))
+        taken = [q.take(timeout=0) for _ in range(2)]
+        assert ("late", 0) in taken
+
+    def test_priority_lane_drains_first_within_tenant(self):
+        q = FairShareQueue(max_depth=64)
+        q.put("a", "normal", "n0")
+        q.put("a", "normal", "n1")
+        q.put("a", "high", "h0")
+        assert drain(q) == ["h0", "n0", "n1"]
+
+    def test_priority_does_not_override_fairness(self):
+        # a's high-priority flood must not starve b's normal lane
+        q = FairShareQueue(max_depth=64)
+        for i in range(3):
+            q.put("a", "high", f"a{i}")
+        q.put("b", "normal", "b0")
+        assert drain(q) == ["a0", "b0", "a1", "a2"]
+
+    def test_unknown_priority_rejected(self):
+        q = FairShareQueue()
+        with pytest.raises(ValueError):
+            q.put("a", "urgent", "x")
+
+
+class TestBackPressure:
+    def test_over_depth_rejected_deterministically(self):
+        q = FairShareQueue(max_depth=4, retry_after_s=2.5)
+        for i in range(4):
+            q.put("t", "normal", i)
+        # the (depth+1)-th submission is refused, always — and keeps
+        # being refused until something is taken
+        for _ in range(3):
+            with pytest.raises(QueueFull) as exc:
+                q.put("t", "normal", 99)
+            assert exc.value.depth == 4
+            assert exc.value.retry_after_s == 2.5
+        q.take(timeout=0)
+        q.put("t", "normal", 4)  # a slot freed: admitted again
+        assert q.depth() == 4
+
+    def test_rejection_counts_no_tenant_as_served(self):
+        q = FairShareQueue(max_depth=1)
+        q.put("a", "normal", 0)
+        with pytest.raises(QueueFull):
+            q.put("b", "normal", 1)
+        assert q.served == {}
+
+    def test_depth_bound_is_global_not_per_tenant(self):
+        q = FairShareQueue(max_depth=3)
+        q.put("a", "normal", 0)
+        q.put("b", "normal", 1)
+        q.put("c", "normal", 2)
+        with pytest.raises(QueueFull):
+            q.put("d", "normal", 3)
+
+
+class TestTakeAndClose:
+    def test_take_blocks_until_put(self):
+        q = FairShareQueue()
+        got = []
+
+        def taker():
+            got.append(q.take(timeout=5))
+
+        t = threading.Thread(target=taker)
+        t.start()
+        q.put("a", "normal", "x")
+        t.join(timeout=5)
+        assert got == ["x"]
+
+    def test_take_timeout_returns_none(self):
+        q = FairShareQueue()
+        assert q.take(timeout=0.01) is None
+
+    def test_close_refuses_new_work_but_drains_admitted(self):
+        q = FairShareQueue()
+        q.put("a", "normal", "x")
+        q.close()
+        with pytest.raises(RuntimeError):
+            q.put("a", "normal", "y")
+        assert q.take(timeout=0) == "x"  # admitted work still served
+        assert q.take(timeout=0) is None  # then closed-and-empty
+
+    def test_close_wakes_blocked_takers(self):
+        q = FairShareQueue()
+        got = []
+
+        def taker():
+            got.append(q.take(timeout=30))
+
+        t = threading.Thread(target=taker)
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert got == [None]
+
+
+class TestRemove:
+    def test_remove_queued_item(self):
+        q = FairShareQueue()
+        q.put("a", "normal", "x")
+        q.put("a", "normal", "y")
+        assert q.remove(lambda item: item == "x") == "x"
+        assert q.depth() == 1
+        assert drain(q) == ["y"]
+
+    def test_remove_missing_returns_none(self):
+        q = FairShareQueue()
+        q.put("a", "normal", "x")
+        assert q.remove(lambda item: item == "z") is None
+        assert q.depth() == 1
+
+    def test_per_tenant_snapshot(self):
+        q = FairShareQueue()
+        q.put("a", "high", 1)
+        q.put("a", "normal", 2)
+        q.put("b", "normal", 3)
+        assert q.per_tenant() == {"a": {"high": 1, "normal": 1},
+                                  "b": {"normal": 1}}

@@ -1,0 +1,121 @@
+"""The service CLI commands (submit/jobs/cancel/fetch) against a live
+in-process daemon, via direct ``main()`` invocation."""
+
+import json
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.cli import main
+from repro.service import ServiceDaemon
+
+
+@pytest.fixture
+def daemon():
+    tmp = tempfile.mkdtemp(prefix="repro-svc-cli-")
+    d = ServiceDaemon(os.path.join(tmp, "spool"),
+                      socket_path=os.path.join(tmp, "cli.sock"), runners=2)
+    d.start()
+    yield d
+    d.stop()
+    shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    cap = capsys.readouterr()
+    return code, cap.out, cap.err
+
+
+SUBMIT = ("submit", "matmul", "--dataset", "n=16,m=16",
+          "--proposals", "30", "--batch-size", "4")
+
+
+class TestSubmit:
+    def test_stream_prints_parseable_json_events(self, daemon, capsys):
+        code, out, _ = run(capsys, *SUBMIT, "--stream",
+                           "--socket", daemon.socket_path)
+        assert code == 0
+        lines = [json.loads(ln) for ln in out.strip().splitlines()]
+        assert lines[0]["ok"]  # admission reply
+        names = [d.get("event") for d in lines[1:]]
+        assert names[0] == "queued" and names[-1] == "done"
+        assert "progress" in names
+
+    def test_wait_reports_cached_duplicate(self, daemon, capsys):
+        code, _, _ = run(capsys, *SUBMIT, "--wait", "30",
+                         "--socket", daemon.socket_path)
+        assert code == 0
+        code, out, _ = run(capsys, *SUBMIT, "--wait", "30",
+                           "--tenant", "other", "--socket", daemon.socket_path)
+        assert code == 0
+        assert "done (cached)" in out
+
+    def test_submit_without_connection_flags_is_user_error(self, daemon,
+                                                           capsys):
+        code, _, err = run(capsys, *SUBMIT)
+        assert code == 2
+        assert err.startswith("repro: error:")
+
+    def test_unreachable_daemon_is_user_error(self, daemon, capsys):
+        code, _, err = run(capsys, *SUBMIT, "--socket", "/nonexistent.sock")
+        assert code == 2
+        assert "cannot reach daemon" in err
+
+    def test_429_exits_1_with_retry_hint(self, daemon, capsys):
+        # fill the queue through a runnerless daemon
+        daemon2 = ServiceDaemon(os.path.join(daemon.spool.root, "..", "sp2"),
+                                socket_path=daemon.socket_path + "2",
+                                runners=0, max_depth=1, retry_after_s=2.0)
+        daemon2.start()
+        try:
+            assert run(capsys, *SUBMIT, "--socket", daemon2.socket_path)[0] == 0
+            code, _, err = run(capsys, *SUBMIT, "--seed", "9",
+                               "--socket", daemon2.socket_path)
+            assert code == 1
+            assert "retry after 2s" in err
+        finally:
+            daemon2.stop()
+
+
+class TestJobsAndFetch:
+    def test_jobs_lists_and_fetch_round_trips(self, daemon, capsys, tmp_path):
+        code, out, _ = run(capsys, *SUBMIT, "--wait", "30",
+                           "--socket", daemon.socket_path)
+        assert code == 0
+        job_id = out.split()[1]
+        code, out, _ = run(capsys, "jobs", "--socket", daemon.socket_path)
+        assert code == 0
+        assert job_id in out and "done" in out
+        art = tmp_path / "artifact.json"
+        code, out, _ = run(capsys, "fetch", job_id, "--output", str(art),
+                           "--socket", daemon.socket_path)
+        assert code == 0
+        doc = json.loads(art.read_text())
+        assert doc["kind"] == "tune"
+        assert doc["thresholds"]["program"] == "matmul"
+
+    def test_fetch_unknown_job_is_user_error(self, daemon, capsys):
+        code, _, err = run(capsys, "fetch", "j999",
+                           "--socket", daemon.socket_path)
+        assert code == 2
+        assert "unknown job" in err
+
+    def test_cancel_queued_job(self, daemon, capsys):
+        daemon2 = ServiceDaemon(os.path.join(daemon.spool.root, "..", "sp3"),
+                                socket_path=daemon.socket_path + "3",
+                                runners=0)
+        daemon2.start()
+        try:
+            code, out, _ = run(capsys, *SUBMIT,
+                               "--socket", daemon2.socket_path)
+            assert code == 0
+            job_id = out.split()[1]
+            code, out, _ = run(capsys, "cancel", job_id,
+                               "--socket", daemon2.socket_path)
+            assert code == 0
+            assert "canceled" in out
+        finally:
+            daemon2.stop()

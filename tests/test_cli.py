@@ -225,6 +225,42 @@ class TestTune:
         assert out_file.exists()
         assert not (tmp_path / "m.tuning.ckpt.json").exists()
 
+    def test_deadline_hit_retains_checkpoint_and_resume_completes(
+        self, capsys, tmp_path
+    ):
+        # an injected delay on the first batch pushes the run past its
+        # time budget after one checkpointed batch; the measurements in
+        # that checkpoint are exactly what --resume needs, so the CLI
+        # must keep it (deleting it here used to destroy them)
+        out_file = tmp_path / "m.tuning"
+        ckpt = tmp_path / "m.tuning.ckpt.json"
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"rules": [
+            {"site": "tuner.batch", "kind": "delay",
+             "at": [0], "delay_s": 0.3},
+        ]}))
+        argv = ["tune", "matmul", "--dataset", "n=32,m=1024",
+                "--proposals", "12", "--batch-size", "4"]
+        code, out = run(
+            capsys, *argv, "--checkpoint-every", "1",
+            "--time-budget", "0.05", "--output", str(out_file),
+            "--faults", str(plan),
+        )
+        assert code == 0
+        assert ckpt.exists()
+        assert "time budget hit" in out and "--resume" in out
+
+        # --resume finishes the search; only a *completed* run deletes
+        # its checkpoint, and the result matches an uninterrupted run
+        # byte for byte
+        assert main(argv + ["--resume", "--output", str(out_file)]) == 0
+        assert not ckpt.exists()
+        baseline = tmp_path / "b.tuning"
+        assert main(argv + ["--output", str(baseline)]) == 0
+        assert out_file.read_text() == baseline.read_text()
+        assert (tmp_path / "m.tuning.telemetry.json").read_text() == \
+            (tmp_path / "b.tuning.telemetry.json").read_text()
+
     def test_output_writes_tuning_and_telemetry(self, capsys, tmp_path):
         out_file = tmp_path / "m.tuning"
         code, out = run(

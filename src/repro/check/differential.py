@@ -37,6 +37,7 @@ __all__ = [
     "FORCE_FALSE",
     "MODES",
     "ENGINES",
+    "FUSIONS",
     "CHECK_DATASETS",
     "PathOutcome",
     "ModeResult",
@@ -54,6 +55,11 @@ MODES = ("moderate", "incremental", "full")
 
 #: execution engines the differential check exercises per forced path
 ENGINES = ("scalar", "vector", "codegen")
+
+#: fusion modes checked by default: both legs are compared against the same
+#: unfused source-program reference, so passing both proves ILP fusion
+#: bit-identical to ``--fusion off`` on every forced path × engine
+FUSIONS = ("ilp", "off")
 
 #: ``Par ≥ 0`` always holds; ``Par ≥ 2^62`` never does (sizes are moderate).
 FORCE_TRUE = 0
@@ -226,6 +232,7 @@ class PathOutcome:
 @dataclass
 class ModeResult:
     mode: str
+    fusion: str = "ilp"
     num_paths: int = 0
     truncated: bool = False
     failures: list[PathOutcome] = field(default_factory=list)
@@ -238,6 +245,7 @@ class ModeResult:
     def to_json(self) -> dict:
         return {
             "mode": self.mode,
+            "fusion": self.fusion,
             "paths": self.num_paths,
             "truncated": self.truncated,
             "failures": [f.to_json() for f in self.failures],
@@ -301,24 +309,34 @@ def differential_check(
     max_paths: int = 4096,
     num_levels: int = 2,
     engines: Sequence[str] = ENGINES,
+    fusions: Sequence[str] = FUSIONS,
 ) -> ProgramReport:
     """Differentially test ``prog`` against its own flattened versions.
 
-    For every dataset and every flattening mode, every forced threshold
-    path of the compiled body is executed with every requested engine and
-    compared bit-for-bit against the source program's results (run under
-    the scalar oracle).  ``engines`` defaults to all three executors —
-    the scalar tree-walker, the vectorizing executor and the codegen
-    tier — so every path is the proof obligation for the flattening
-    rules *and* both compiled engines.
-    Compile-time validator failures are reported per mode rather than
-    raised, so one broken mode does not hide another's results.
+    For every dataset, every flattening mode and every fusion mode, every
+    forced threshold path of the compiled body is executed with every
+    requested engine and compared bit-for-bit against the source program's
+    results (run under the scalar oracle).  ``engines`` defaults to all
+    three executors — the scalar tree-walker, the vectorizing executor and
+    the codegen tier — so every path is the proof obligation for the
+    flattening rules *and* both compiled engines; ``fusions`` defaults to
+    ``("ilp", "off")``, making every run also a proof that ILP fusion
+    preserves bit-identical semantics.
+    Compile-time validator failures are reported per (mode, fusion) leg
+    rather than raised, so one broken leg does not hide another's results.
     """
+    from repro.compiler import FUSION_MODES
+
     for engine in engines:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r} (expected {ENGINES})")
+    for fusion in fusions:
+        if fusion not in FUSION_MODES:
+            raise ValueError(
+                f"unknown fusion mode {fusion!r} (expected {FUSION_MODES})"
+            )
     report = ProgramReport(program=prog.name)
-    compiled: dict[str, object] = {}
+    compiled: dict[tuple[str, str], object] = {}
     for ds_index, sizes in enumerate(datasets):
         ds = DatasetResult(sizes=dict(sizes), seed=seed + ds_index)
         report.datasets.append(ds)
@@ -383,15 +401,17 @@ def differential_check(
                     break
             if gate_failed:
                 continue
-        for mode in modes:
-            mr = ModeResult(mode=mode)
+        for mode, fusion in itertools.product(modes, fusions):
+            mr = ModeResult(mode=mode, fusion=fusion)
             ds.modes.append(mr)
             try:
-                cp = compiled.get(mode)
+                cp = compiled.get((mode, fusion))
                 if cp is None:
-                    cp = compile_program(prog, mode, num_levels=num_levels)
+                    cp = compile_program(
+                        prog, mode, num_levels=num_levels, fusion=fusion
+                    )
                     cp.check()
-                    compiled[mode] = cp
+                    compiled[(mode, fusion)] = cp
             except (ValidationError, Exception) as ex:  # noqa: BLE001
                 mr.error = f"{type(ex).__name__}: {ex}"
                 continue
@@ -436,6 +456,7 @@ def check_all(
     seed: int = 0,
     max_paths: int = 4096,
     engines: Sequence[str] = ENGINES,
+    fusions: Sequence[str] = FUSIONS,
 ) -> list[ProgramReport]:
     """Run the differential check over (a subset of) the built-in benchmarks."""
     progs = builtin_programs()
@@ -457,6 +478,7 @@ def check_all(
                 seed=seed,
                 max_paths=max_paths,
                 engines=engines,
+                fusions=fusions,
             )
         )
     return reports

@@ -16,7 +16,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
-from repro.check.differential import ENGINES, MODES, ProgramReport, differential_check
+from repro.check.differential import (
+    ENGINES,
+    FUSIONS,
+    MODES,
+    ProgramReport,
+    differential_check,
+)
 from repro.check.genprog import (
     build_program,
     random_recipe,
@@ -56,6 +62,8 @@ class FuzzReport:
     seed: int
     modes: tuple[str, ...]
     engines: tuple[str, ...] = ENGINES
+    fusions: tuple[str, ...] = FUSIONS
+    style: str = "default"
     failures: list[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -70,6 +78,8 @@ class FuzzReport:
             "seed": self.seed,
             "modes": list(self.modes),
             "engines": list(self.engines),
+            "fusions": list(self.fusions),
+            "style": self.style,
             "failures": [f.to_json() for f in self.failures],
         }
 
@@ -81,15 +91,18 @@ def check_recipe(
     max_paths: int = 1024,
     name: str = "gen",
     engines: Sequence[str] = ENGINES,
+    fusions: Sequence[str] = FUSIONS,
 ) -> ProgramReport:
     """Differential-check one recipe on its own and a derived dataset.
 
     Every forced path runs under every engine in ``engines`` (default:
-    scalar oracle *and* vectorizing executor), so fuzzing hunts flattening
-    bugs and vectorization bugs with the same examples.  Float overflow to
-    ``inf`` is expected for generated programs (chained ``*`` folds) and
-    harmless — both sides fold identically — so numpy warnings are
-    silenced for the duration of the check.
+    scalar oracle *and* vectorizing executor) and every fusion mode in
+    ``fusions`` (default: ILP fusion *and* fusion off), so fuzzing hunts
+    flattening bugs, vectorization bugs, and fusion bugs with the same
+    examples.  Float overflow to ``inf`` is expected for generated
+    programs (chained ``*`` folds) and harmless — both sides fold
+    identically — so numpy warnings are silenced for the duration of the
+    check.
     """
     import numpy as np
 
@@ -102,6 +115,7 @@ def check_recipe(
             modes=tuple(modes),
             max_paths=max_paths,
             engines=tuple(engines),
+            fusions=tuple(fusions),
         )
 
 
@@ -110,10 +124,11 @@ def _failure_message(report: ProgramReport) -> str:
         if ds.error:
             return f"source interpreter on {ds.sizes}: {ds.error}"
         for mr in ds.modes:
+            leg = f"mode {mr.mode}/fusion {mr.fusion}"
             if mr.error:
-                return f"mode {mr.mode} on {ds.sizes}: {mr.error}"
+                return f"{leg} on {ds.sizes}: {mr.error}"
             for po in mr.failures:
-                return f"mode {mr.mode} on {ds.sizes}: path {po.thresholds}: {po.detail}"
+                return f"{leg} on {ds.sizes}: path {po.thresholds}: {po.detail}"
     return "unknown failure"
 
 
@@ -125,16 +140,22 @@ def run_fuzz(
     max_depth: int = 3,
     max_paths: int = 1024,
     engines: Sequence[str] = ENGINES,
+    fusions: Sequence[str] = FUSIONS,
+    style: str = "default",
     corpus_dir: str | Path | None = None,
     on_example=None,
 ) -> FuzzReport:
     """Fuzz the pipeline with ``max_examples`` generated programs.
 
-    Every failing example is shrunk with :func:`shrink_recipe` before being
-    recorded, so the report's corpus entries are already minimal.  The
-    shrink predicate replays *all* requested ``engines``, so a shrunk
-    recipe keeps failing on whichever engine diverged — vectorization
-    bugs shrink just like flattening bugs.  With ``corpus_dir`` set, each
+    ``style`` selects the recipe grammar weighting (``"fusion"`` biases
+    generation toward fusable producer/consumer chains and fan-out
+    shapes); ``fusions`` selects which fusion modes every forced path is
+    replayed under.  Every failing example is shrunk with
+    :func:`shrink_recipe` before being recorded, so the report's corpus
+    entries are already minimal.  The shrink predicate replays *all*
+    requested ``engines`` and ``fusions``, so a shrunk recipe keeps
+    failing on whichever leg diverged — fusion and vectorization bugs
+    shrink just like flattening bugs.  With ``corpus_dir`` set, each
     shrunk counterexample is also written there as a ``tests/corpus/``-
     format JSON document (``fuzz_<seed>_<index>.json``), ready to become a
     regression test.  ``on_example`` (if given) is called as
@@ -142,16 +163,18 @@ def run_fuzz(
     """
     rng = random.Random(seed)
     report = FuzzReport(
-        examples=max_examples, seed=seed, modes=tuple(modes), engines=tuple(engines)
+        examples=max_examples, seed=seed, modes=tuple(modes),
+        engines=tuple(engines), fusions=tuple(fusions), style=style,
     )
 
     def fails(recipe: dict) -> bool:
         return not check_recipe(
-            recipe, modes=modes, max_paths=max_paths, engines=engines
+            recipe, modes=modes, max_paths=max_paths, engines=engines,
+            fusions=fusions,
         ).ok
 
     for i in range(max_examples):
-        recipe = random_recipe(rng, max_depth=max_depth)
+        recipe = random_recipe(rng, max_depth=max_depth, style=style)
         try:
             ok = not fails(recipe)
             error = None
@@ -170,7 +193,8 @@ def run_fuzz(
                 try:
                     error = _failure_message(
                         check_recipe(
-                            shrunk, modes=modes, max_paths=max_paths, engines=engines
+                            shrunk, modes=modes, max_paths=max_paths,
+                            engines=engines, fusions=fusions,
                         )
                     )
                 except Exception as ex:

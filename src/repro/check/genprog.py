@@ -137,6 +137,18 @@ def _build_vec(r: dict, row: S.Exp, length: str) -> S.Exp:
             map_(_fn_lambda(r["f"]), src),
             lambda t: scan_(op2(r["op"]), [f32(_OPS[r["op"]])], t),
         )
+    if k == "share":
+        # fan-out: one map producer consumed by two further maps — the
+        # greedy pass is blocked (two uses), the ILP pass fuses both
+        src = _build_vec(r["src"], row, length)
+        return let_(
+            map_(_fn_lambda(r["f"]), src),
+            lambda t: map_(
+                op2(r["op"]),
+                map_(_fn_lambda(r["g"]), t),
+                map_(_fn_lambda(r["h"]), t),
+            ),
+        )
     if k == "zip":
         a = _build_vec(r["a"], row, length)
         b = _build_vec(r["b"], row, length)
@@ -204,6 +216,18 @@ def _build_scalar(r: dict, row: S.Exp, length: str) -> S.Exp:
         )
     if k == "first":
         return _build_vec(r["src"], row, length)[i64(0)]
+    if k == "fansum":
+        # fan-out into two reductions: a producer with two consumers that
+        # only global (ILP) fusion can eliminate
+        src = _build_vec(r["src"], row, length)
+        return let_(
+            map_(_fn_lambda(r["f"]), src),
+            lambda t: S.BinOp(
+                r["bop"],
+                reduce_(op2(r["op1"]), [f32(_OPS[r["op1"]])], t),
+                reduce_(op2(r["op2"]), [f32(_OPS[r["op2"]])], t),
+            ),
+        )
     if k == "sbin":
         return S.BinOp(
             r["op"],
@@ -267,6 +291,29 @@ def recipe_datasets(recipe: dict) -> tuple[dict[str, int], ...]:
 
 Draw = Callable[[str, list], object]
 
+#: Recipe styles: per-sort option lists with weights (repetition = weight).
+#: ``"fusion"`` biases generation toward fusable producer/consumer chains
+#: — map∘map compositions, map+reduce/scan pairs, fan-out producers —
+#: the shapes the ILP fusion pass must preserve bit-identically.
+RECIPE_STYLES = ("default", "fusion")
+
+_VEC_KINDS = {
+    "default": ["vmap", "scan", "scanmap", "zip", "vloop", "vif",
+                "dif", "dif", "dloop", "dloop", "vintr", "share", "leaf"],
+    "fusion": ["vmap", "vmap", "vmap", "scanmap", "scanmap",
+               "share", "share", "zip", "scan", "leaf"],
+}
+
+_SCALAR_KINDS = {
+    "default": ["sum", "red", "dot", "first", "sbin", "fansum"],
+    "fusion": ["sum", "sum", "dot", "fansum", "fansum", "red", "sbin"],
+}
+
+_TOP_KINDS = {
+    "default": ["mat", "rowsum", "rowsum", "total", "colred"],
+    "fusion": ["rowsum", "total", "total", "mat"],
+}
+
 
 def _gen_fn(draw: Draw) -> list[str]:
     atoms = sorted(_FN_ATOMS)
@@ -274,98 +321,113 @@ def _gen_fn(draw: Draw) -> list[str]:
     return [draw(f"fn-atom{i}", atoms) for i in range(k)]
 
 
-def _gen_vec(draw: Draw, depth: int, length: str) -> dict:
+def _gen_vec(draw: Draw, depth: int, length: str, style: str = "default") -> dict:
     leaves = ["r", "iota"] + (["ys"] if length == "m" else [])
     if depth <= 0:
         return {"k": draw("vec-leaf", leaves)}
-    kind = draw(
-        "vec-kind",
-        ["vmap", "scan", "scanmap", "zip", "vloop", "vif",
-         "dif", "dif", "dloop", "dloop", "vintr", "leaf"],
-    )
+    kind = draw("vec-kind", _VEC_KINDS[style])
     if kind == "leaf":
         return {"k": draw("vec-leaf", leaves)}
+    if kind == "share":
+        return {
+            "k": "share",
+            "op": draw("op", sorted(_OPS)),
+            "f": _gen_fn(draw),
+            "g": _gen_fn(draw),
+            "h": _gen_fn(draw),
+            "src": _gen_vec(draw, depth - 1, length, style),
+        }
     if kind == "vmap":
-        return {"k": "vmap", "f": _gen_fn(draw), "src": _gen_vec(draw, depth - 1, length)}
+        return {"k": "vmap", "f": _gen_fn(draw),
+                "src": _gen_vec(draw, depth - 1, length, style)}
     if kind == "scan":
         return {
             "k": "scan",
             "op": draw("op", sorted(_OPS)),
-            "src": _gen_vec(draw, depth - 1, length),
+            "src": _gen_vec(draw, depth - 1, length, style),
         }
     if kind == "scanmap":
         return {
             "k": "scanmap",
             "op": draw("op", sorted(_OPS)),
             "f": _gen_fn(draw),
-            "src": _gen_vec(draw, depth - 1, length),
+            "src": _gen_vec(draw, depth - 1, length, style),
         }
     if kind == "zip":
         return {
             "k": "zip",
             "op": draw("op", sorted(_OPS)),
-            "a": _gen_vec(draw, depth - 1, length),
-            "b": _gen_vec(draw, depth - 1, length),
+            "a": _gen_vec(draw, depth - 1, length, style),
+            "b": _gen_vec(draw, depth - 1, length, style),
         }
     if kind == "vloop":
         return {
             "k": "vloop",
             "steps": draw("steps", [1, 2, 3]),
             "f": _gen_fn(draw),
-            "src": _gen_vec(draw, depth - 1, length),
+            "src": _gen_vec(draw, depth - 1, length, style),
         }
     if kind == "dif":
         return {
             "k": "dif",
             "cmp": draw("dif-cmp", ["<", "<=", ">"]),
-            "then": _gen_vec(draw, depth - 1, length),
-            "else": _gen_vec(draw, depth - 1, length),
+            "then": _gen_vec(draw, depth - 1, length, style),
+            "else": _gen_vec(draw, depth - 1, length, style),
         }
     if kind == "dloop":
         return {
             "k": "dloop",
             "f": _gen_fn(draw),
-            "src": _gen_vec(draw, depth - 1, length),
+            "src": _gen_vec(draw, depth - 1, length, style),
         }
     if kind == "vintr":
-        return {"k": "vintr", "src": _gen_vec(draw, depth - 1, length)}
+        return {"k": "vintr", "src": _gen_vec(draw, depth - 1, length, style)}
     return {
         "k": "vif",
         "cmp": [draw("cmp-lhs", ["n", "m"]), draw("cmp-op", ["<=", "<", ">"]),
                 draw("cmp-rhs", ["n", "m", 2, 3])],
-        "then": _gen_vec(draw, depth - 1, length),
-        "else": _gen_vec(draw, depth - 1, length),
+        "then": _gen_vec(draw, depth - 1, length, style),
+        "else": _gen_vec(draw, depth - 1, length, style),
     }
 
 
-def _gen_scalar(draw: Draw, depth: int, length: str) -> dict:
-    kind = draw("scalar-kind", ["sum", "red", "dot", "first", "sbin"])
+def _gen_scalar(draw: Draw, depth: int, length: str, style: str = "default") -> dict:
+    kind = draw("scalar-kind", _SCALAR_KINDS[style])
     if kind == "sum":
         return {
             "k": "sum",
             "op": draw("op", sorted(_OPS)),
             "f": _gen_fn(draw),
-            "src": _gen_vec(draw, depth - 1, length),
+            "src": _gen_vec(draw, depth - 1, length, style),
         }
     if kind == "red":
         return {"k": "red", "op": draw("op", sorted(_OPS)),
-                "src": _gen_vec(draw, depth - 1, length)}
+                "src": _gen_vec(draw, depth - 1, length, style)}
     if kind == "dot":
-        return {"k": "dot", "a": _gen_vec(draw, depth - 1, length),
-                "b": _gen_vec(draw, depth - 1, length)}
+        return {"k": "dot", "a": _gen_vec(draw, depth - 1, length, style),
+                "b": _gen_vec(draw, depth - 1, length, style)}
     if kind == "first":
-        return {"k": "first", "src": _gen_vec(draw, depth - 1, length)}
+        return {"k": "first", "src": _gen_vec(draw, depth - 1, length, style)}
+    if kind == "fansum":
+        return {
+            "k": "fansum",
+            "bop": draw("op", sorted(_OPS)),
+            "op1": draw("op", sorted(_OPS)),
+            "op2": draw("op", sorted(_OPS)),
+            "f": _gen_fn(draw),
+            "src": _gen_vec(draw, depth - 1, length, style),
+        }
     if depth <= 0:
         return {"k": "red", "op": "+", "src": {"k": "r"}}
     return {
         "k": "sbin",
         "op": draw("op", sorted(_OPS)),
-        "a": _gen_scalar(draw, depth - 1, length),
-        "b": _gen_scalar(draw, depth - 1, length),
+        "a": _gen_scalar(draw, depth - 1, length, style),
+        "b": _gen_scalar(draw, depth - 1, length, style),
     }
 
 
-def _gen_mat(draw: Draw, depth: int) -> tuple[dict, tuple[str, str]]:
+def _gen_mat(draw: Draw, depth: int, style: str = "default") -> tuple[dict, tuple[str, str]]:
     src: dict = {"k": "xss"}
     dims = ("n", "m")
     if draw("transpose", [False, False, True]):
@@ -374,47 +436,55 @@ def _gen_mat(draw: Draw, depth: int) -> tuple[dict, tuple[str, str]]:
     for _ in range(draw("mat-wrappers", [0, 1, 1, 2])):
         kind = draw("mat-kind", ["maprows", "matloop"])
         if kind == "maprows":
-            src = {"k": "maprows", "row": _gen_vec(draw, depth, dims[1]), "src": src}
+            src = {"k": "maprows", "row": _gen_vec(draw, depth, dims[1], style),
+                   "src": src}
         else:
             src = {
                 "k": "matloop",
                 "steps": draw("steps", [1, 2]),
-                "row": _gen_vec(draw, depth - 1, dims[1]),
+                "row": _gen_vec(draw, depth - 1, dims[1], style),
                 "src": src,
             }
     return src, dims
 
 
-def _gen_top(draw: Draw, depth: int) -> dict:
-    mat, dims = _gen_mat(draw, depth)
-    kind = draw("top-kind", ["mat", "rowsum", "rowsum", "total", "colred"])
+def _gen_top(draw: Draw, depth: int, style: str = "default") -> dict:
+    mat, dims = _gen_mat(draw, depth, style)
+    kind = draw("top-kind", _TOP_KINDS[style])
     if kind == "mat":
         return {"k": "mat", "e": mat}
     if kind == "rowsum":
-        return {"k": "rowsum", "s": _gen_scalar(draw, depth, dims[1]), "src": mat}
+        return {"k": "rowsum", "s": _gen_scalar(draw, depth, dims[1], style),
+                "src": mat}
     if kind == "total":
         return {"k": "total", "op": draw("op", sorted(_OPS)),
-                "s": _gen_scalar(draw, depth, dims[1]), "src": mat}
+                "s": _gen_scalar(draw, depth, dims[1], style), "src": mat}
     return {"k": "colred", "op": draw("op", sorted(_OPS)), "src": mat}
 
 
-def _gen_recipe(draw: Draw, max_depth: int) -> dict:
+def _gen_recipe(draw: Draw, max_depth: int, style: str = "default") -> dict:
+    if style not in RECIPE_STYLES:
+        raise ValueError(
+            f"unknown recipe style {style!r} (expected one of {RECIPE_STYLES})"
+        )
     return {
         "sizes": {"n": draw("n", [1, 2, 3, 4]), "m": draw("m", [1, 2, 3, 4])},
-        "body": _gen_top(draw, draw("depth", list(range(1, max_depth + 1)))),
+        "body": _gen_top(draw, draw("depth", list(range(1, max_depth + 1))), style),
     }
 
 
-def random_recipe(rng: random.Random, *, max_depth: int = 3) -> dict:
+def random_recipe(
+    rng: random.Random, *, max_depth: int = 3, style: str = "default"
+) -> dict:
     """A random program recipe drawn with a seeded ``random.Random``."""
 
     def draw(_label: str, options: list):
         return options[rng.randrange(len(options))]
 
-    return _gen_recipe(draw, max_depth)
+    return _gen_recipe(draw, max_depth, style)
 
 
-def recipes(max_depth: int = 3):
+def recipes(max_depth: int = 3, style: str = "default"):
     """A hypothesis strategy over the same recipe grammar.
 
     Imported lazily so the production package works without hypothesis
@@ -428,7 +498,7 @@ def recipes(max_depth: int = 3):
         def draw(label: str, options: list):
             return draw_fn(st.sampled_from(options), label=label)
 
-        return _gen_recipe(draw, max_depth)
+        return _gen_recipe(draw, max_depth, style)
 
     return _recipes()
 
@@ -458,13 +528,20 @@ def _simpler_variants(node: dict) -> list[dict]:
         out.extend([node["then"], node["else"]])
     if k in ("dloop", "vintr"):
         out.append(node["src"])
+    if k == "share":
+        out.append(node["src"])
+        out.append({"k": "vmap", "f": node["f"], "src": node["src"]})
     if k == "sbin":
         out.extend([node["a"], node["b"]])
+    if k == "fansum":
+        out.append({"k": "red", "op": node["op1"], "src": node["src"]})
+        out.append({"k": "sum", "op": node["op1"], "f": node["f"],
+                    "src": node["src"]})
     # atomic fallbacks
     if k in ("vmap", "scan", "scanmap", "zip", "vloop", "vif", "dif",
-             "dloop", "vintr", "ys", "iota"):
+             "dloop", "vintr", "share", "ys", "iota"):
         out.append({"k": "r"})
-    if k in ("sum", "dot", "sbin", "first"):
+    if k in ("sum", "dot", "sbin", "first", "fansum"):
         out.append({"k": "red", "op": "+", "src": {"k": "r"}})
     # parameter shrinks
     if "steps" in node and node["steps"] > 1:

@@ -25,12 +25,15 @@ Commands
 * ``figures [NAMES...]`` — regenerate the paper's tables (fig2, fig7, fig8,
   ablation, code, autotuner-free).
 * ``check [PROGS...] [--fuzz] [--max-examples N] [--report out.json]
-  [--exec scalar|vector|both] [--chaos]`` — differential correctness
-  harness: validate the IR after every pass and assert every forced
-  code-version path computes bit-identical results to the source
-  interpreter, under the selected executor(s) (default: both); ``--fuzz``
-  additionally checks N generated programs (``--corpus-out DIR`` writes
-  shrunk counterexamples as ``tests/corpus/``-format files); ``--chaos``
+  [--exec scalar|vector|both] [--fusion ilp|greedy|off|both|all]
+  [--chaos]`` — differential correctness harness: validate the IR after
+  every pass and assert every forced code-version path computes
+  bit-identical results to the source interpreter, under the selected
+  executor(s) (default: both) and fusion mode(s) (default: ``both`` =
+  ILP fusion and fusion off); ``--fuzz`` additionally checks N generated
+  programs (``--fuzz-style fusion`` weights generation toward fusable
+  chains; ``--corpus-out DIR`` writes shrunk counterexamples as
+  ``tests/corpus/``-format files); ``--chaos``
   additionally runs the chaos differential — tuning and forced-path
   results under a recoverable injected-fault schedule must be
   bit-identical to fault-free runs.  Exits nonzero on any failure.
@@ -50,6 +53,12 @@ Commands
   daemon; ``--stream`` prints the job's progress events as JSON lines.
 * ``jobs`` / ``cancel JOB`` / ``fetch JOB [--output F]`` — list a
   daemon's jobs, cancel one, or fetch a finished job's artifact.
+
+``show``, ``run``, ``simulate``, ``tune`` and ``profile`` accept
+``--fusion ilp|greedy|off`` to select the fusion pass (default: the
+``REPRO_FUSION`` environment variable, else ``ilp`` — see
+``docs/fusion.md``); a ``.tuning`` file records the fusion mode it was
+tuned under and is rejected when replayed under a different one.
 
 ``show``, ``simulate``, ``tune`` and ``check`` also accept
 ``--trace out.json`` to capture a trace of that command.
@@ -141,6 +150,18 @@ def _parse_kv(items: list[str] | None) -> dict[str, int]:
     return out
 
 
+def _fusion(args) -> str:
+    """Resolve ``--fusion`` / ``REPRO_FUSION`` to an effective fusion mode,
+    reporting a bad value (e.g. a typo in the environment variable) as a
+    :class:`UserError` rather than a traceback."""
+    from repro.compiler import resolve_fusion
+
+    try:
+        return resolve_fusion(getattr(args, "fusion", None))
+    except ValueError as exc:
+        raise UserError(str(exc)) from None
+
+
 def _check_sizes(prog, sizes: dict[str, int], flag: str = "--size") -> None:
     """User-supplied size bindings must cover the program's size variables
     (extras are allowed: scalar parameters are bound the same way)."""
@@ -192,10 +213,10 @@ def cmd_show(args) -> int:
     from repro.flatten import branching_trees, render_tree
 
     prog = _resolve_program(args.program)
-    cp = compile_program(prog, args.mode)
+    cp = compile_program(prog, args.mode, fusion=_fusion(args))
     print(
-        f"-- {prog.name}: mode={args.mode}, {len(cp.registry)} thresholds, "
-        f"{cp.code_size()} AST nodes"
+        f"-- {prog.name}: mode={args.mode}, fusion={cp.fusion}, "
+        f"{len(cp.registry)} thresholds, {cp.code_size()} AST nodes"
     )
     print(cp.body)
     if args.tree:
@@ -210,7 +231,7 @@ def cmd_run(args) -> int:
     prog = _resolve_program(args.program)
     sizes = _parse_kv(args.size)
     _check_sizes(prog, sizes)
-    cp = compile_program(prog, args.mode)
+    cp = compile_program(prog, args.mode, fusion=_fusion(args))
     inputs = _random_inputs(prog, sizes, args.seed)
     th = _parse_kv(args.threshold)
     outs = cp.run(inputs, thresholds=th or None, engine=args.exec)
@@ -232,7 +253,7 @@ def cmd_simulate(args) -> int:
     sizes = _parse_kv(args.size)
     _check_sizes(prog, sizes)
     device = _devices()[args.device]
-    cp = compile_program(prog, args.mode)
+    cp = compile_program(prog, args.mode, fusion=_fusion(args))
     th = _parse_kv(args.threshold)
     if args.tuning:
         from repro.tuning import load_thresholds
@@ -288,7 +309,7 @@ def cmd_tune(args) -> int:
         else:
             raise UserError("tune needs at least one --dataset n=...,m=...")
     device = _devices()[args.device]
-    cp = compile_program(prog, "incremental")
+    cp = compile_program(prog, "incremental", fusion=_fusion(args))
     if args.technique == "exhaustive":
         res = exhaustive_tune(cp, datasets, device)
         ckpt = None
@@ -441,14 +462,15 @@ def cmd_profile(args) -> int:
         _check_sizes(prog, ds, flag="--dataset")
     device = _devices()[args.device]
 
-    cp = compile_program(prog, args.mode)
+    cp = compile_program(prog, args.mode, fusion=_fusion(args))
     code = generate_opencl(cp)
     tuner = Autotuner(cp, datasets, device, seed=args.seed)
     res = tuner.tune(max_proposals=args.proposals)
     rep = cp.simulate(datasets[0], device, thresholds=res.best_thresholds)
 
     print(
-        f"{prog.name}: mode={args.mode}, {len(cp.registry)} thresholds, "
+        f"{prog.name}: mode={args.mode}, fusion={cp.fusion}, "
+        f"{len(cp.registry)} thresholds, "
         f"{cp.code_size()} AST nodes, {code.num_kernels} kernels, "
         f"{code.loc} generated LOC"
     )
@@ -516,9 +538,16 @@ def cmd_check(args) -> int:
             engines = ("scalar", "vector")
         else:
             engines = (args.exec,)
+        if args.fusion == "all":
+            fusions = ("ilp", "greedy", "off")
+        elif args.fusion == "both":
+            fusions = ("ilp", "off")
+        else:
+            fusions = (args.fusion,)
         try:
             reports = check_all(names, modes=modes, seed=args.seed,
-                                max_paths=args.max_paths, engines=engines)
+                                max_paths=args.max_paths, engines=engines,
+                                fusions=fusions)
         except KeyError as ex:
             raise UserError(ex.args[0]) from None
         ok = True
@@ -531,10 +560,11 @@ def cmd_check(args) -> int:
                     if ds.error:
                         print(f"    {ds.sizes}: {ds.error}")
                     for mr in ds.modes:
+                        leg = f"{mr.mode}/{mr.fusion}"
                         if mr.error:
-                            print(f"    {mr.mode} {ds.sizes}: {mr.error}")
+                            print(f"    {leg} {ds.sizes}: {mr.error}")
                         for po in mr.failures:
-                            print(f"    {mr.mode} {ds.sizes}: path "
+                            print(f"    {leg} {ds.sizes}: path "
                                   f"{po.thresholds}: {po.detail}")
         doc = {
             "kind": "check",
@@ -544,9 +574,10 @@ def cmd_check(args) -> int:
 
         if args.fuzz:
             print(f"fuzzing {args.max_examples} generated programs "
-                  f"(seed {args.seed}) ...")
+                  f"(seed {args.seed}, style {args.fuzz_style}) ...")
             frep = run_fuzz(args.max_examples, args.seed, modes=modes,
                             max_paths=args.max_paths, engines=engines,
+                            fusions=fusions, style=args.fuzz_style,
                             corpus_dir=args.corpus_out)
             doc["fuzz"] = frep.to_json()
             if frep.ok:
@@ -779,10 +810,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list built-in benchmark programs")
 
+    def fusion_flag(sp_):
+        sp_.add_argument("--fusion", default=None,
+                         choices=("ilp", "greedy", "off"),
+                         help="fusion pass: ILP-based global fusion "
+                         "(default), the greedy local-rule pass, or none "
+                         "(default: REPRO_FUSION or ilp)")
+
     sp = sub.add_parser("show", help="compile and print target code")
     sp.add_argument("program")
     sp.add_argument("--mode", default="incremental",
                     choices=("moderate", "incremental", "full"))
+    fusion_flag(sp)
     sp.add_argument("--tree", action="store_true", help="print branching tree")
     sp.add_argument("--trace", help="write a Chrome-trace JSON file")
 
@@ -790,6 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("program")
     rp.add_argument("--mode", default="incremental",
                     choices=("moderate", "incremental", "full"))
+    fusion_flag(rp)
     rp.add_argument("--size", action="append", help="size binding n=4")
     rp.add_argument("--threshold", action="append", help="threshold t0=128")
     rp.add_argument("--seed", type=int, default=0)
@@ -803,6 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
     mp.add_argument("program")
     mp.add_argument("--mode", default="incremental",
                     choices=("moderate", "incremental", "full"))
+    fusion_flag(mp)
     mp.add_argument("--size", action="append", help="size binding n=4096")
     mp.add_argument("--threshold", action="append")
     mp.add_argument("--device", default="K40", choices=("K40", "Vega64"))
@@ -817,6 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     tp = sub.add_parser("tune", help="autotune thresholds")
     tp.add_argument("program")
+    fusion_flag(tp)
     tp.add_argument("--dataset", action="append", default=[],
                     help="one dataset: n=4096,m=32 (repeatable; with "
                     "--output/--resume defaults to the benchmark's "
@@ -875,6 +917,16 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("scalar", "vector", "codegen", "both", "all"),
                     help="executor(s) for forced paths: one engine, 'both' "
                     "(scalar+vector) or 'all' (default: all three)")
+    cp.add_argument("--fusion", default="both",
+                    choices=("ilp", "greedy", "off", "both", "all"),
+                    help="fusion mode(s) for forced paths: one mode, 'both' "
+                    "(ilp+off, the default) or 'all' (ilp+greedy+off); "
+                    "every leg must be bit-identical to the source "
+                    "interpreter")
+    cp.add_argument("--fuzz-style", default="default",
+                    choices=("default", "fusion"),
+                    help="recipe grammar weighting for --fuzz ('fusion' "
+                    "biases toward fusable producer/consumer chains)")
     cp.add_argument("--corpus-out", default=None, metavar="DIR",
                     help="write shrunk fuzz counterexamples to DIR "
                     "(tests/corpus/ format)")
@@ -893,6 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("program")
     pp.add_argument("--mode", default="incremental",
                     choices=("moderate", "incremental", "full"))
+    fusion_flag(pp)
     pp.add_argument("--dataset", action="append", default=[],
                     help="one dataset: n=4096,m=32 (repeatable; "
                     "defaults to the benchmark's built-in datasets)")

@@ -14,6 +14,7 @@ some downstream consumer.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -30,9 +31,38 @@ from repro.ir import source as S
 from repro.ir.builder import Program
 from repro.ir.traverse import count_nodes
 from repro.ir.types import ArrayType
-from repro.passes import fuse, normalize, simplify
+from repro.passes import fuse, ilp_fuse, normalize, simplify
 
-__all__ = ["CompiledProgram", "compile_program", "compile_program_cached"]
+__all__ = [
+    "CompiledProgram",
+    "compile_program",
+    "compile_program_cached",
+    "resolve_fusion",
+    "FUSION_MODES",
+]
+
+#: fusion pass selection: ILP-based global fusion (default), the greedy
+#: local-rule pass, or no fusion at all
+FUSION_MODES = ("ilp", "greedy", "off")
+
+
+def resolve_fusion(fusion: str | None = None, do_fuse: bool = True) -> str:
+    """Resolve the effective fusion mode.
+
+    Explicit argument wins, then the ``REPRO_FUSION`` environment variable,
+    then the default (``"ilp"``).  ``do_fuse=False`` (the paper's Backprop
+    moderate-flattening experiment) forces ``"off"``.
+    """
+    if not do_fuse:
+        return "off"
+    if fusion is None:
+        fusion = os.environ.get("REPRO_FUSION") or "ilp"
+    if fusion not in FUSION_MODES:
+        raise ValueError(
+            f"unknown fusion mode {fusion!r} "
+            f"(choose from {', '.join(FUSION_MODES)})"
+        )
+    return fusion
 
 
 @dataclass
@@ -44,6 +74,7 @@ class CompiledProgram:
     body: S.Exp
     registry: ThresholdRegistry
     num_levels: int
+    fusion: str = "ilp"
     compile_seconds: float = 0.0
     #: (sizes, device, thresholds, sim options) -> CostReport memo
     _sim_memo: dict = field(default_factory=dict, repr=False, compare=False)
@@ -154,12 +185,16 @@ def compile_program(
     num_levels: int = 2,
     do_fuse: bool = True,
     do_simplify: bool = True,
+    fusion: str | None = None,
 ) -> CompiledProgram:
     """Compile a source program with the selected flattening mode.
 
+    ``fusion`` selects the fusion pass (see :data:`FUSION_MODES`;
+    default ``"ilp"``, overridable via ``REPRO_FUSION``).
     ``do_fuse=False`` reproduces the paper's Backprop experiment, where
     map/reduce fusion was explicitly disabled for moderate flattening.
     """
+    fusion = resolve_fusion(fusion, do_fuse)
     t0 = time.perf_counter()
     env = prog.type_env()
     checking = validation_enabled()
@@ -181,11 +216,13 @@ def compile_program(
                 sp["nodes_after"] = count_nodes(out)
         return _checked(out, stage_name or stage, **kwargs)
 
-    with obs.span("compile", cat="compiler", program=prog.name, mode=mode):
+    with obs.span(
+        "compile", cat="compiler", program=prog.name, mode=mode, fusion=fusion
+    ):
         src_types = validate(prog.body, env, stage="source") if checking else None
         body = _pass("normalize", normalize, prog.body)
-        if do_fuse:
-            body = _pass("fuse", fuse, body)
+        if fusion != "off":
+            body = _pass("fuse", ilp_fuse if fusion == "ilp" else fuse, body)
         body = _pass("simplify", simplify, body)
         fl = Flattener(mode=mode, num_levels=num_levels)
         flat = _pass(
@@ -212,6 +249,7 @@ def compile_program(
         body=flat,
         registry=fl.registry,
         num_levels=num_levels,
+        fusion=fusion,
         compile_seconds=elapsed,
     )
     out.check()
@@ -228,6 +266,7 @@ def compile_program_cached(
     num_levels: int = 2,
     do_fuse: bool = True,
     do_simplify: bool = True,
+    fusion: str | None = None,
 ) -> CompiledProgram:
     """:func:`compile_program`, memoized on (program name, mode, options).
 
@@ -241,9 +280,12 @@ def compile_program_cached(
     if not perf.caching_enabled():
         return compile_program(
             prog, mode, num_levels=num_levels, do_fuse=do_fuse,
-            do_simplify=do_simplify,
+            do_simplify=do_simplify, fusion=fusion,
         )
-    key = (prog.name, mode, num_levels, do_fuse, do_simplify)
+    # resolve the env-dependent fusion default *before* keying, so a cached
+    # entry is never served across a REPRO_FUSION change
+    resolved_fusion = resolve_fusion(fusion, do_fuse)
+    key = (prog.name, mode, num_levels, resolved_fusion, do_simplify)
     hit = _COMPILE_CACHE.get(key)
     if hit is not None:
         perf.inc("compile_cache.hits")
@@ -252,7 +294,7 @@ def compile_program_cached(
     with perf.timer("compile"):
         out = compile_program(
             prog, mode, num_levels=num_levels, do_fuse=do_fuse,
-            do_simplify=do_simplify,
+            do_simplify=do_simplify, fusion=resolved_fusion,
         )
     _COMPILE_CACHE[key] = out
     return out

@@ -23,6 +23,7 @@ __all__ = [
     "subst_vars",
     "contains_parallel",
     "count_nodes",
+    "iter_scoped_children",
 ]
 
 _counter = itertools.count()
@@ -113,6 +114,48 @@ def walk(e: S.Exp) -> Iterator[S.Exp]:
 def count_nodes(e: S.Exp) -> int:
     """Number of AST nodes; used as the code-size metric (§5.1)."""
     return sum(1 for _ in walk(e))
+
+
+def iter_scoped_children(e: S.Exp) -> Iterator[tuple[S.Exp, frozenset[str]]]:
+    """Yield ``(child, binders)`` for every direct child expression.
+
+    ``binders`` is the set of variable names bound *around that child* by
+    ``e`` itself (let names for a let body, lambda/loop parameters, seg-op
+    context bindings).  This is the scoping structure :func:`free_vars`
+    uses, exposed so scope-aware analyses (e.g. the fusion passes' free
+    occurrence counting) need not replicate the binder rules per class.
+    """
+    if isinstance(e, S.Let):
+        yield e.rhs, frozenset()
+        yield e.body, frozenset(e.names)
+        return
+    if isinstance(e, S.Loop):
+        for i in e.inits:
+            yield i, frozenset()
+        yield e.bound, frozenset()
+        yield e.body, frozenset(e.params) | frozenset({e.ivar})
+        return
+    if isinstance(e, T.SegOp):
+        bound: frozenset[str] = frozenset()
+        for b in e.ctx:
+            for arr in b.arrays:
+                yield arr, bound
+            bound |= frozenset(b.params)
+        if isinstance(e, (T.SegRed, T.SegScan)):
+            yield e.lam.body, bound | frozenset(e.lam.params)
+            for ne in e.nes:
+                yield ne, bound
+        yield e.body, bound
+        return
+    for attr, kind in _spec(e):
+        val = getattr(e, attr)
+        if kind == "exp":
+            yield val, frozenset()
+        elif kind == "exps":
+            for sub in val:
+                yield sub, frozenset()
+        elif kind == "lam":
+            yield val.body, frozenset(val.params)
 
 
 def contains_parallel(e: S.Exp, include_target: bool = True) -> bool:

@@ -2,6 +2,7 @@
 
 from repro.passes.anormal import normalize
 from repro.passes.fusion import fuse
+from repro.passes.ilp_fusion import ilp_fuse
 from repro.passes.simplify import simplify
 
-__all__ = ["normalize", "fuse", "simplify"]
+__all__ = ["normalize", "fuse", "ilp_fuse", "simplify"]

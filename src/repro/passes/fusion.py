@@ -1,5 +1,5 @@
-"""Producer/consumer fusion (paper §4: "aggressive fusion [30, 31] is
-performed prior to flattening").
+"""Greedy producer/consumer fusion (paper §4: "aggressive fusion [30, 31]
+is performed prior to flattening").
 
 On A-normalised programs, rewrites
 
@@ -8,23 +8,35 @@ On A-normalised programs, rewrites
 * ``let ȳ = map f x̄s in … map g ȳ …``        →  ``… map (g ∘ f) x̄s …``
 
 whenever the produced arrays are consumed exactly once, by that single
-consumer, with the arrays in producer order.  The fused-vs-unfused
-distinction matters downstream: moderate flattening *sequentialises* fused
-``redomap``s but parallelises plain ``reduce``s (§3.1), which is why the
-paper's Backprop experiment explicitly disables this pass for MF.
+consumer, with the arrays in producer order.  The whole-tree rewrite runs
+to a *global* fixpoint: a composition exposed inside a lambda or loop body
+can enable a new fusion at an outer level, so the pass re-examines the
+tree until nothing changes anywhere.  Use counting and consumer search are
+scope-aware (via :func:`repro.passes.fusion_graph.count_free_uses`):
+occurrences under a shadowing binder are not uses, and a consumer behind a
+binder that rebinds the producer's names or inputs is not reachable.
+
+This pass is deliberately conservative; :mod:`repro.passes.ilp_fusion`
+generalises it (fan-out, permuted/partial arguments, redomap/scanomap
+consumers) and uses this pass as its incumbent/oracle — the ILP result is
+never worse.  The fused-vs-unfused distinction matters downstream:
+moderate flattening *sequentialises* fused ``redomap``s but parallelises
+plain ``reduce``s (§3.1), which is why the paper's Backprop experiment
+explicitly disables fusion for MF.
 """
 
 from __future__ import annotations
 
 from repro.ir import source as S
-from repro.ir.traverse import contains_parallel, fresh_name, map_children, walk
+from repro.ir.traverse import (
+    contains_parallel,
+    free_vars,
+    iter_scoped_children,
+    map_children,
+)
+from repro.passes.fusion_graph import compose_lambdas, count_free_uses
 
 __all__ = ["fuse"]
-
-
-def _count_uses(names: tuple[str, ...], e: S.Exp) -> int:
-    wanted = set(names)
-    return sum(1 for sub in walk(e) if isinstance(sub, S.Var) and sub.name in wanted)
 
 
 def _is_exact_consumer(node: S.Exp, names: tuple[str, ...]) -> bool:
@@ -36,10 +48,20 @@ def _is_exact_consumer(node: S.Exp, names: tuple[str, ...]) -> bool:
     return False
 
 
-def _find_consumer(e: S.Exp, names: tuple[str, ...]) -> S.Exp | None:
-    for sub in walk(e):
-        if _is_exact_consumer(sub, names):
-            return sub
+def _find_consumer(
+    e: S.Exp, names: tuple[str, ...], blocked: frozenset[str]
+) -> S.Exp | None:
+    """First exact consumer reachable without crossing a binder that
+    rebinds a produced name or one of the producer's free inputs — fusing
+    past such a binder would capture."""
+    if _is_exact_consumer(e, names):
+        return e
+    for child, binders in iter_scoped_children(e):
+        if binders & blocked:
+            continue
+        found = _find_consumer(child, names, blocked)
+        if found is not None:
+            return found
     return None
 
 
@@ -50,55 +72,59 @@ def _replace_once(root: S.Exp, old: S.Exp, new: S.Exp) -> S.Exp:
     return map_children(root, lambda c: _replace_once(c, old, new))
 
 
-def _compose(f: S.Lambda, g: S.Lambda) -> S.Lambda:
-    """g ∘ f as a single lambda (f's results feed g's parameters)."""
-    gp = tuple(fresh_name(p) for p in g.params)
-    from repro.ir.traverse import rename_vars
-
-    g_body = rename_vars(g.body, dict(zip(g.params, gp)))
-    return S.Lambda(f.params, S.Let(gp, f.body, g_body))
-
-
 def fuse(e: S.Exp) -> S.Exp:
-    """Apply fusion to fixpoint, recursing through the whole program."""
-    changed = True
-    while changed:
-        e, changed = _fuse_once(e)
-    return map_children(e, fuse)
+    """Apply greedy fusion to a global whole-tree fixpoint."""
+    while True:
+        e, changed = _fuse_tree(e)
+        if not changed:
+            return e
 
 
-def _fuse_once(e: S.Exp) -> tuple[S.Exp, bool]:
-    if isinstance(e, S.Let) and type(e.rhs) is S.Map:
-        names = e.names
-        uses = _count_uses(names, e.body)
-        consumer = _find_consumer(e.body, names)
-        if (
-            isinstance(consumer, (S.Reduce, S.Scan))
-            and contains_parallel(consumer.lam.body)
-        ):
-            # A vector-operator reduce/scan must stay unfused: the
-            # flattener's G4 rewrite matches plain ``reduce``, and a
-            # redomap/scanomap with a parallel operator has no
-            # flattening rule at all.
-            consumer = None
-        if consumer is not None and uses == len(names):
-            producer: S.Map = e.rhs
-            if isinstance(consumer, S.Reduce):
-                fused: S.Exp = S.Redomap(
-                    consumer.lam, producer.lam, consumer.nes, producer.arrs
-                )
-            elif isinstance(consumer, S.Scan):
-                fused = S.Scanomap(
-                    consumer.lam, producer.lam, consumer.nes, producer.arrs
-                )
-            else:  # map ∘ map
-                fused = S.Map(_compose(producer.lam, consumer.lam), producer.arrs)
-            return _replace_once(e.body, consumer, fused), True
-    if isinstance(e, S.Let):
-        body, changed = _fuse_once(e.body)
-        if changed:
-            return S.Let(e.names, e.rhs, body), True
-        rhs, changed = _fuse_once(e.rhs)
-        if changed:
-            return S.Let(e.names, rhs, e.body), True
-    return e, False
+def _fuse_tree(e: S.Exp) -> tuple[S.Exp, bool]:
+    """One top-down sweep: rewrite here if possible, else descend."""
+    fused = _fuse_here(e)
+    if fused is not None:
+        return fused, True
+    changed = False
+
+    def rec(child: S.Exp) -> S.Exp:
+        nonlocal changed
+        child2, ch = _fuse_tree(child)
+        changed = changed or ch
+        return child2
+
+    e2 = map_children(e, rec)
+    return (e2, True) if changed else (e, False)
+
+
+def _fuse_here(e: S.Exp) -> S.Exp | None:
+    """Fuse ``e``'s produced map into its single exact consumer, if legal."""
+    if not (isinstance(e, S.Let) and type(e.rhs) is S.Map):
+        return None
+    names = e.names
+    uses = count_free_uses(names, e.body)
+    if uses != len(names):
+        return None
+    blocked = frozenset(names) | free_vars(e.rhs)
+    consumer = _find_consumer(e.body, names, blocked)
+    if consumer is None:
+        return None
+    if isinstance(consumer, (S.Reduce, S.Scan)) and contains_parallel(
+        consumer.lam.body
+    ):
+        # A vector-operator reduce/scan must stay unfused: the flattener's
+        # G4 rewrite matches plain ``reduce``, and a redomap/scanomap with
+        # a parallel operator has no flattening rule at all.
+        return None
+    producer: S.Map = e.rhs
+    if isinstance(consumer, S.Reduce):
+        fused: S.Exp = S.Redomap(
+            consumer.lam, producer.lam, consumer.nes, producer.arrs
+        )
+    elif isinstance(consumer, S.Scan):
+        fused = S.Scanomap(
+            consumer.lam, producer.lam, consumer.nes, producer.arrs
+        )
+    else:  # map ∘ map
+        fused = S.Map(compose_lambdas(producer.lam, consumer.lam), producer.arrs)
+    return _replace_once(e.body, consumer, fused)

@@ -1,0 +1,304 @@
+"""Producer→consumer fusion dataflow graph (the ILP pass's input).
+
+On an A-normalised program, every ``let ȳ = map f x̄s in body`` is a fusion
+*producer*; every SOAC in ``body`` that consumes one of the ``ȳ`` as an
+array argument is a *consumer*, and each (producer, consumer) pair is a
+candidate fusion *edge*.  :func:`build_graph` materialises this graph with
+per-edge legality facts:
+
+* **scope** — the consumer must be reachable without crossing a binder that
+  rebinds a produced name or one of the producer's free inputs (otherwise
+  substituting the producer at the consumer site would capture),
+* **operator parallelism** — a ``reduce``/``scan`` consumer whose operator
+  contains parallelism must stay unfused: the flattener's G4 rewrite
+  matches plain ``reduce``, and a redomap/scanomap with a parallel operator
+  has no flattening rule at all (the PR 2 fuzzer-found soundness bug),
+* **use counts** — computed with :func:`count_free_uses`, which counts
+  *free* occurrences only (occurrences under a shadowing binder are not
+  uses of the producer),
+* **shape** — how many of the consumer's array slots the producer covers,
+  and whether the match is *exact* (all slots, producer order — the only
+  shape the greedy pass fuses).
+
+Unlike the greedy pass, edges here also cover fan-out (one producer, many
+consumers), permuted/partial argument positions, and ``redomap``/
+``scanomap`` consumers (fusion into their map part).
+:func:`fused_consumer` builds the fused SOAC for any legal edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import source as S
+from repro.ir.traverse import (
+    contains_parallel,
+    count_nodes,
+    free_vars,
+    fresh_name,
+    iter_scoped_children,
+    rename_vars,
+    subst_vars,
+    walk,
+)
+
+__all__ = [
+    "count_free_uses",
+    "compose_lambdas",
+    "ProducerInfo",
+    "FusionEdge",
+    "FusionGraph",
+    "build_graph",
+    "fused_consumer",
+    "kernel_proxy",
+]
+
+
+def count_free_uses(names, e: S.Exp) -> int:
+    """Number of *free* occurrences of any of ``names`` in ``e``.
+
+    Occurrences under a binder that rebinds the name (lambda parameter,
+    let, loop parameter, seg-op context) are shadowed and do not count —
+    this is the scope-aware counter shared by the greedy and ILP passes.
+    """
+
+    def go(e: S.Exp, wanted: frozenset[str]) -> int:
+        if not wanted:
+            return 0
+        if isinstance(e, S.Var):
+            return 1 if e.name in wanted else 0
+        return sum(
+            go(child, wanted - binders)
+            for child, binders in iter_scoped_children(e)
+        )
+
+    return go(e, frozenset(names))
+
+
+def compose_lambdas(f: S.Lambda, g: S.Lambda) -> S.Lambda:
+    """g ∘ f as a single lambda (f's results feed g's parameters)."""
+    gp = tuple(fresh_name(p) for p in g.params)
+    g_body = rename_vars(g.body, dict(zip(g.params, gp)))
+    return S.Lambda(f.params, S.Let(gp, f.body, g_body))
+
+
+@dataclass
+class ProducerInfo:
+    """One ``let ȳ = map f x̄s`` binding that could fuse into consumers."""
+
+    index: int
+    let: S.Let
+    uses: int  # free occurrences of the produced names in let.body
+    work: int  # node count of the map's lambda body (duplication cost)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.let.names
+
+    @property
+    def rhs(self) -> S.Map:
+        return self.let.rhs
+
+
+@dataclass
+class FusionEdge:
+    """A candidate fusion of ``producer`` into one SOAC ``consumer``."""
+
+    index: int
+    producer: ProducerInfo
+    consumer: S.Exp
+    kind: str  # "map" | "reduce" | "scan" | "redomap" | "scanomap"
+    covered: int  # produced-name occurrences among the consumer's arrs
+    depth: int  # lambda/loop nesting levels crossed (work multiplier)
+    exact: bool  # greedy-shaped: all slots, producer order, full use count
+    legal: bool = True
+    reason: str = ""
+
+
+@dataclass
+class FusionGraph:
+    root: S.Exp
+    producers: list[ProducerInfo] = field(default_factory=list)
+    edges: list[FusionEdge] = field(default_factory=list)
+
+    @property
+    def legal_edges(self) -> list[FusionEdge]:
+        return [e for e in self.edges if e.legal]
+
+    def edges_of(self, producer: ProducerInfo) -> list[FusionEdge]:
+        return [e for e in self.edges if e.producer is producer]
+
+
+_SOAC_KINDS = (
+    (S.Redomap, "redomap"),
+    (S.Scanomap, "scanomap"),
+    (S.Reduce, "reduce"),
+    (S.Scan, "scan"),
+)
+
+
+def _consumer_kind(node: S.Exp) -> str | None:
+    if type(node) is S.Map:
+        return "map"
+    for cls, kind in _SOAC_KINDS:
+        if isinstance(node, cls):
+            return kind
+    return None
+
+
+def _operator_lambda(node: S.Exp, kind: str) -> S.Lambda | None:
+    """The reduction/scan operator of the consumer, if it has one."""
+    if kind == "reduce" or kind == "scan":
+        return node.lam
+    if kind == "redomap":
+        return node.red_lam
+    if kind == "scanomap":
+        return node.scan_lam
+    return None
+
+
+def _edge_facts(producer: ProducerInfo, node: S.Exp, kind: str):
+    """(covered, exact, legal, reason) for fusing producer into node."""
+    names = producer.names
+    wanted = set(names)
+    covered = sum(
+        1 for a in node.arrs if isinstance(a, S.Var) and a.name in wanted
+    )
+    exact = (
+        kind in ("map", "reduce", "scan")
+        and len(node.arrs) == len(names)
+        and all(
+            isinstance(a, S.Var) and a.name == n
+            for a, n in zip(node.arrs, names)
+        )
+    )
+    op = _operator_lambda(node, kind)
+    if op is not None and contains_parallel(op.body):
+        return covered, exact, False, "parallel reduce/scan operator (G4)"
+    return covered, exact, True, ""
+
+
+def build_graph(root: S.Exp) -> FusionGraph:
+    """Collect every producer and every candidate fusion edge in ``root``."""
+    graph = FusionGraph(root)
+
+    def scan_consumers(
+        e: S.Exp,
+        producer: ProducerInfo,
+        blocked: frozenset[str],
+        depth: int,
+        tainted: bool,
+    ) -> None:
+        kind = _consumer_kind(e)
+        if kind is not None:
+            covered, exact, legal, reason = _edge_facts(producer, e, kind)
+            if covered:
+                if tainted:
+                    legal, reason = False, "producer shadowed at consumer"
+                graph.edges.append(
+                    FusionEdge(
+                        index=len(graph.edges),
+                        producer=producer,
+                        consumer=e,
+                        kind=kind,
+                        covered=covered,
+                        depth=depth,
+                        exact=exact and covered == producer.uses,
+                        legal=legal,
+                        reason=reason,
+                    )
+                )
+        for child, binders in iter_scoped_children(e):
+            crossed = isinstance(e, S.Loop) and child is e.body
+            if not crossed and binders:
+                # lambda bodies are the only other binder-introducing
+                # children of non-Let nodes; a Let's own body binds names
+                # but multiplies no work.
+                crossed = not isinstance(e, S.Let)
+            scan_consumers(
+                child,
+                producer,
+                blocked,
+                depth + (1 if crossed else 0),
+                tainted or bool(binders & blocked),
+            )
+
+    def visit(e: S.Exp) -> None:
+        if isinstance(e, S.Let) and type(e.rhs) is S.Map:
+            uses = count_free_uses(e.names, e.body)
+            if uses > 0:
+                producer = ProducerInfo(
+                    index=len(graph.producers),
+                    let=e,
+                    uses=uses,
+                    work=count_nodes(e.rhs.lam.body),
+                )
+                graph.producers.append(producer)
+                blocked = frozenset(e.names) | free_vars(e.rhs)
+                scan_consumers(e.body, producer, blocked, 0, False)
+        for child, _binders in iter_scoped_children(e):
+            visit(child)
+
+    visit(root)
+    return graph
+
+
+def fused_consumer(edge: FusionEdge) -> S.Exp:
+    """The fused SOAC that replaces ``edge.consumer`` at its site.
+
+    Exact edges reproduce the greedy pass's forms verbatim; the general
+    case freshens the producer's lambda, routes covered argument slots
+    through its results and threads uncovered slots as extra (passthrough)
+    parameters, so permuted/partial/fan-out consumers fuse too.
+    """
+    p, c, kind = edge.producer, edge.consumer, edge.kind
+    f = p.rhs.lam
+    if edge.exact and edge.covered == len(c.arrs):
+        if kind == "reduce":
+            return S.Redomap(c.lam, f, c.nes, p.rhs.arrs)
+        if kind == "scan":
+            return S.Scanomap(c.lam, f, c.nes, p.rhs.arrs)
+        if kind == "map":
+            return S.Map(compose_lambdas(f, c.lam), p.rhs.arrs)
+
+    fp = tuple(fresh_name(x) for x in f.params)
+    f_body = rename_vars(f.body, dict(zip(f.params, fp)))
+    outs = tuple(fresh_name(n) for n in p.names)
+    sel = dict(zip(p.names, outs))
+    new_arrs = list(p.rhs.arrs)
+    extra: list[str] = []
+    elems: list[S.Exp] = []
+    for a in c.arrs:
+        if isinstance(a, S.Var) and a.name in sel:
+            elems.append(S.Var(sel[a.name]))
+        else:
+            q = fresh_name("q")
+            extra.append(q)
+            new_arrs.append(a)
+            elems.append(S.Var(q))
+    params = fp + tuple(extra)
+
+    def inlined(lam: S.Lambda) -> S.Exp:
+        return subst_vars(lam.body, dict(zip(lam.params, elems)))
+
+    if kind == "map":
+        body = S.Let(outs, f_body, inlined(c.lam))
+        return S.Map(S.Lambda(params, body), tuple(new_arrs))
+    if kind in ("reduce", "scan"):
+        res: S.Exp = elems[0] if len(elems) == 1 else S.TupleExp(elems)
+        map_lam = S.Lambda(params, S.Let(outs, f_body, res))
+        if kind == "reduce":
+            return S.Redomap(c.lam, map_lam, c.nes, tuple(new_arrs))
+        return S.Scanomap(c.lam, map_lam, c.nes, tuple(new_arrs))
+    if kind in ("redomap", "scanomap"):
+        body = S.Let(outs, f_body, inlined(c.map_lam))
+        map_lam = S.Lambda(params, body)
+        if kind == "redomap":
+            return S.Redomap(c.red_lam, map_lam, c.nes, tuple(new_arrs))
+        return S.Scanomap(c.scan_lam, map_lam, c.nes, tuple(new_arrs))
+    raise ValueError(f"cannot build fused form for edge kind {kind!r}")
+
+
+def kernel_proxy(e: S.Exp) -> int:
+    """Source-level kernel-launch proxy: the number of parallel SOACs."""
+    return sum(1 for sub in walk(e) if isinstance(sub, S.PARALLEL_SOACS))

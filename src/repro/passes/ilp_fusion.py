@@ -1,0 +1,397 @@
+"""ILP-based global fusion (per "Fusing Gathers with Integer Linear
+Programming", PAPERS.md).
+
+Where the greedy pass (:mod:`repro.passes.fusion`) applies local rewrite
+rules with restrictive side conditions, this pass decides *globally* which
+producers fuse into which consumers:
+
+1. :func:`repro.passes.fusion_graph.build_graph` materialises the
+   producer→consumer dataflow graph with per-edge legality facts.
+2. A 0/1 ILP assigns a binary fuse-decision to every legal edge.
+   Constraints: at most one in-edge per consumer per round, plus pairwise
+   conflicts between edges whose rewrites would invalidate each other
+   (nested consumers, a producer binding inside another edge's rewritten
+   region).  The objective charges every still-materialised producer a
+   kernel launch plus memory traffic for its arrays, and every fused copy
+   its duplicated work — the same launch-vs-traffic trade the GPU cost
+   model (:mod:`repro.gpu.cost`) makes, with weights mirroring its
+   launch-overhead-dominates-small-kernels regime.
+3. A small pure-Python depth-first branch-and-bound solves the ILP
+   exactly.  The greedy pass's edge selection seeds the incumbent, so the
+   solver never returns anything worse than greedy and needs no external
+   solver.  An admissible lower bound (sunk costs of fixed decisions,
+   optimistic completion) prunes; a node cap bounds pathological inputs.
+4. Chosen edges are applied in one identity-preserving top-down rewrite;
+   producers whose every remaining use is covered are dropped.  Because a
+   rewrite can expose new fusion opportunities (map∘map chains, fusing a
+   second producer into a freshly built redomap), the build→solve→apply
+   cycle repeats until no profitable edge remains.
+
+Finally the result is compared against the greedy pass's output on a
+kernel-launch proxy and the greedy result is returned if ever better
+(``fusion.fallback_greedy``), making "never worse than greedy" a hard
+guarantee rather than a cost-model hope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import perf
+from repro.obs import trace as obs
+from repro.ir import source as S
+from repro.ir.traverse import map_children, walk
+from repro.passes.fusion import fuse
+from repro.passes.fusion_graph import (
+    FusionEdge,
+    FusionGraph,
+    build_graph,
+    count_free_uses,
+    fused_consumer,
+    kernel_proxy,
+)
+
+__all__ = ["FusionCosts", "DEFAULT_COSTS", "ilp_fuse", "solve_graph"]
+
+
+@dataclass(frozen=True)
+class FusionCosts:
+    """Objective weights for the fusion ILP.
+
+    ``launch``/``mem`` charge a materialised producer its kernel launch
+    and per-array memory traffic (launch overhead dominates — the GPU cost
+    model's small-kernel regime); ``dup`` charges duplicated lambda work
+    per AST node when a producer fuses into several consumers or across a
+    loop/lambda nesting level; ``edge`` is a tiny per-fusion tie-breaker
+    so the solver prefers *fewer* rewrites among cost-equal solutions.
+    """
+
+    launch: float = 10.0
+    mem: float = 4.0
+    dup: float = 0.05
+    edge: float = 0.001
+
+
+DEFAULT_COSTS = FusionCosts()
+
+MAX_ROUNDS = 32
+MAX_SOLVER_NODES = 20_000
+_EPS = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Conflicts: pairs of edges whose same-round rewrites invalidate each other
+# ---------------------------------------------------------------------------
+
+
+def _edge_conflicts(edges: list[FusionEdge]) -> list[set[int]]:
+    """Adjacency sets over ``edges`` (indices into the list).
+
+    Two edges conflict when applying one destroys the node identities the
+    other's rewrite needs: the same consumer rewritten twice, a consumer
+    (or producer binding) nested inside the other edge's replaced consumer
+    subtree, or nested inside the other edge's producer lambda (which gets
+    *copied* into consumers, orphaning the original nodes when the binding
+    is dropped).  Conflicting pairs are simply decided in different
+    rounds.
+    """
+    ids = [
+        {id(sub) for sub in walk(e.consumer)} for e in edges
+    ]
+    rhs_ids = [
+        {id(sub) for sub in walk(e.producer.rhs)} for e in edges
+    ]
+    n = len(edges)
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            ei, ej = edges[i], edges[j]
+            bad = (
+                ei.consumer is ej.consumer
+                or id(ej.consumer) in ids[i]
+                or id(ei.consumer) in ids[j]
+            )
+            if not bad and ei.producer is not ej.producer:
+                bad = (
+                    id(ej.producer.let) in ids[i]
+                    or id(ei.producer.let) in ids[j]
+                    or id(ej.consumer) in rhs_ids[i]
+                    or id(ei.consumer) in rhs_ids[j]
+                    or id(ej.producer.let) in rhs_ids[i]
+                    or id(ei.producer.let) in rhs_ids[j]
+                )
+            if bad:
+                adj[i].add(j)
+                adj[j].add(i)
+    return adj
+
+
+# ---------------------------------------------------------------------------
+# Objective
+# ---------------------------------------------------------------------------
+
+
+def _groups(graph: FusionGraph, edges: list[FusionEdge]):
+    """Per-producer index groups over the candidate edge list."""
+    by_producer: dict[int, list[int]] = {}
+    for i, e in enumerate(edges):
+        by_producer.setdefault(e.producer.index, []).append(i)
+    return [
+        (graph.producers[pidx], idxs) for pidx, idxs in by_producer.items()
+    ]
+
+
+def _cost_of(groups, edges: list[FusionEdge], chosen, costs: FusionCosts) -> float:
+    """Objective value of a complete 0/1 assignment ``chosen``."""
+    total = 0.0
+    for producer, idxs in groups:
+        picked = [edges[i] for i in idxs if chosen[i]]
+        cov = sum(e.covered for e in picked)
+        mat = 0 if picked and cov >= producer.uses else 1
+        extra = max(0, len(picked) - (1 - mat))
+        total += mat * (costs.launch + costs.mem * len(producer.names))
+        total += costs.dup * producer.work * (
+            extra + sum(e.depth for e in picked)
+        )
+        total += costs.edge * len(picked)
+    return total
+
+
+def _bound(groups, edges, state, costs: FusionCosts) -> float:
+    """Admissible lower bound for a partial assignment.
+
+    Sunk costs of edges fixed to 1 (duplication, tie-breaker, the
+    duplicated executions they already force) plus materialisation charges
+    for producers that cannot be fully covered even if every undecided
+    edge were taken.  Optimistic everywhere else, so pruning is safe.
+    """
+    total = 0.0
+    for producer, idxs in groups:
+        picked = [edges[i] for i in idxs if state[i] == 1]
+        undecided_cov = sum(
+            edges[i].covered for i in idxs if state[i] is None
+        )
+        cov = sum(e.covered for e in picked)
+        if cov + undecided_cov < producer.uses:
+            total += costs.launch + costs.mem * len(producer.names)
+        total += costs.dup * producer.work * (
+            max(0, len(picked) - 1) + sum(e.depth for e in picked)
+        )
+        total += costs.edge * len(picked)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Incumbents
+# ---------------------------------------------------------------------------
+
+
+def _greedy_edge_set(
+    graph: FusionGraph, edges: list[FusionEdge], adj
+) -> list[int]:
+    """The edge set the greedy pass would pick (its exact-match rule),
+    restricted to a conflict-free subset in producer order — the solver's
+    warm-start incumbent."""
+    index_of = {id(e): i for i, e in enumerate(edges)}
+    chosen: list[int] = []
+    taken: set[int] = set()
+    for producer in graph.producers:
+        for e in graph.edges_of(producer):
+            i = index_of.get(id(e))
+            if i is None or not e.exact:
+                continue
+            if any(i in adj[j] for j in chosen) or i in taken:
+                continue
+            chosen.append(i)
+            taken.add(i)
+            break
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# Branch and bound
+# ---------------------------------------------------------------------------
+
+
+def solve_graph(
+    graph: FusionGraph, costs: FusionCosts = DEFAULT_COSTS
+) -> tuple[list[FusionEdge], dict]:
+    """Solve the fusion ILP for one round; returns (chosen edges, stats).
+
+    Only returns a non-empty selection when it strictly beats fusing
+    nothing, so the caller's round loop terminates.
+    """
+    edges = graph.legal_edges
+    stats = {"nodes": 0, "edges": len(edges), "capped": False}
+    if not edges:
+        return [], stats
+    adj = _edge_conflicts(edges)
+    groups = _groups(graph, edges)
+    n = len(edges)
+
+    zero = [False] * n
+    zero_cost = _cost_of(groups, edges, zero, costs)
+    greedy_idxs = _greedy_edge_set(graph, edges, adj)
+    greedy = [i in set(greedy_idxs) for i in range(n)]
+    greedy_cost = _cost_of(groups, edges, greedy, costs)
+    best, best_cost = (
+        (greedy, greedy_cost) if greedy_cost < zero_cost else (zero, zero_cost)
+    )
+
+    # branch on high-coverage, shallow edges first: most likely to pay off
+    order = sorted(
+        range(n), key=lambda i: (-edges[i].covered, edges[i].depth, i)
+    )
+    state: list[bool | None] = [None] * n
+
+    def dfs(pos: int) -> None:
+        stats["nodes"] += 1
+        if stats["nodes"] > MAX_SOLVER_NODES:
+            stats["capped"] = True
+            return
+        nonlocal best, best_cost
+        if _bound(groups, edges, state, costs) >= best_cost - _EPS:
+            return
+        if pos == n:
+            chosen = [bool(state[i]) for i in range(n)]
+            cost = _cost_of(groups, edges, chosen, costs)
+            if cost < best_cost - _EPS:
+                best, best_cost = chosen, cost
+            return
+        i = order[pos]
+        feasible = not any(
+            state[j] for j in adj[i]
+        )
+        if feasible:
+            state[i] = True
+            dfs(pos + 1)
+        state[i] = False
+        dfs(pos + 1)
+        state[i] = None
+
+    dfs(0)
+    if best_cost >= zero_cost - _EPS:
+        return [], stats
+    return [edges[i] for i in range(n) if best[i]], stats
+
+
+# ---------------------------------------------------------------------------
+# Applying a round's decisions
+# ---------------------------------------------------------------------------
+
+
+def _map_children_shared(e: S.Exp, f) -> S.Exp:
+    """:func:`map_children` that returns ``e`` itself when nothing changed,
+    preserving node identity for untouched subtrees."""
+    changed = False
+
+    def g(c: S.Exp) -> S.Exp:
+        nonlocal changed
+        c2 = f(c)
+        changed = changed or c2 is not c
+        return c2
+
+    e2 = map_children(e, g)
+    return e2 if changed else e
+
+
+def _apply_round(root: S.Exp, chosen: list[FusionEdge]):
+    """Rewrite ``root`` with every chosen edge applied; one top-down pass.
+
+    Rebuilt-but-structurally-identical ancestors keep their plan via a
+    canonical-id forwarding table, so a whole chain of decisions lands in
+    one round; a plan whose nodes were genuinely replaced (which the
+    conflict constraints make rare) is skipped and simply retried next
+    round.  Producers are dropped only when a recount of *free* uses of
+    the rewritten body comes back zero.
+    """
+    plans: dict[int, dict[int, FusionEdge]] = {}
+    for e in chosen:
+        plans.setdefault(id(e.producer.let), {})[id(e.consumer)] = e
+    canon: dict[int, int] = {}
+    stats = {"applied": 0, "dropped": 0, "stale": 0}
+
+    def orig(e: S.Exp) -> int:
+        return canon.get(id(e), id(e))
+
+    def fwd(old: S.Exp, new: S.Exp) -> S.Exp:
+        if new is not old:
+            canon[id(new)] = orig(old)
+        return new
+
+    def replace_consumers(e: S.Exp, cmap: dict[int, FusionEdge]) -> S.Exp:
+        edge = cmap.pop(orig(e), None)
+        if edge is not None:
+            stats["applied"] += 1
+            return fused_consumer(edge)
+        return fwd(e, _map_children_shared(e, lambda c: replace_consumers(c, cmap)))
+
+    def go(e: S.Exp) -> S.Exp:
+        plan = plans.pop(orig(e), None)
+        if plan is not None and isinstance(e, S.Let):
+            body = replace_consumers(e.body, plan)
+            stats["stale"] += len(plan)
+            residual = count_free_uses(e.names, body)
+            rhs = go(e.rhs)
+            body = go(body)
+            if residual == 0:
+                stats["dropped"] += 1
+                return body
+            return fwd(e, S.Let(e.names, rhs, body))
+        return fwd(e, _map_children_shared(e, go))
+
+    out = go(root)
+    stats["stale"] += sum(len(p) for p in plans.values())
+    return out, stats
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def ilp_fuse(e: S.Exp, costs: FusionCosts = DEFAULT_COSTS) -> S.Exp:
+    """Globally fuse ``e``; never worse than the greedy pass."""
+    greedy_result = fuse(e)
+    cur = e
+    with obs.span("fusion.ilp", cat="compiler") as sp:
+        rounds = 0
+        decisions = 0
+        while rounds < MAX_ROUNDS:
+            with obs.span("fusion.graph", cat="compiler") as gsp:
+                graph = build_graph(cur)
+                gsp["producers"] = len(graph.producers)
+                gsp["edges"] = len(graph.legal_edges)
+            if not graph.legal_edges:
+                break
+            with obs.span("fusion.solve", cat="compiler") as ssp:
+                chosen, solve_stats = solve_graph(graph, costs)
+                ssp["nodes"] = solve_stats["nodes"]
+                ssp["chosen"] = len(chosen)
+            perf.inc("fusion.edges", solve_stats["edges"])
+            perf.inc("fusion.solver.nodes", solve_stats["nodes"])
+            if solve_stats["capped"]:
+                perf.inc("fusion.solver.capped")
+            if not chosen:
+                break
+            with obs.span("fusion.apply", cat="compiler"):
+                cur, apply_stats = _apply_round(cur, chosen)
+            perf.inc("fusion.decisions", apply_stats["applied"])
+            if apply_stats["stale"]:
+                perf.inc("fusion.stale", apply_stats["stale"])
+            decisions += apply_stats["applied"]
+            rounds += 1
+            if apply_stats["applied"] == 0:
+                break
+        perf.inc("fusion.rounds", rounds)
+        ilp_kernels = kernel_proxy(cur)
+        greedy_kernels = kernel_proxy(greedy_result)
+        perf.inc("fusion.kernel_delta", greedy_kernels - ilp_kernels)
+        sp["rounds"] = rounds
+        sp["decisions"] = decisions
+        sp["kernel_delta"] = greedy_kernels - ilp_kernels
+        if ilp_kernels > greedy_kernels:
+            # hard never-worse-than-greedy guarantee
+            perf.inc("fusion.fallback_greedy")
+            return greedy_result
+    return cur

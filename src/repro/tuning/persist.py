@@ -79,6 +79,7 @@ def thresholds_doc(
         "format": _FORMAT,
         "program": compiled.prog.name,
         "mode": compiled.mode,
+        "fusion": compiled.fusion,
         "device": device,
         "thresholds": dict(thresholds),
         "parameters": [
@@ -141,6 +142,16 @@ def load_thresholds(
             raise TuningFileError(
                 f"{path}: threshold names do not match the compiled program "
                 f"(stale tuning file?)"
+            )
+        stored_fusion = doc.get("fusion")
+        if stored_fusion is not None and stored_fusion != compiled.fusion:
+            # thresholds tuned against one fusion mode's branching tree are
+            # meaningless under another; files predating the fusion field
+            # (no "fusion" key) are still caught by the tree hash below
+            raise TuningFileError(
+                f"{path}: tuned with fusion mode {stored_fusion!r}, but the "
+                f"program is compiled with {compiled.fusion!r} "
+                f"(stale tuning file? re-tune or pass --fusion {stored_fusion})"
             )
         stored_tree = doc.get("branching_tree")
         if stored_tree is not None and stored_tree != branching_tree_hash(compiled):
@@ -225,6 +236,7 @@ def save_checkpoint(
         "kind": "tuning-checkpoint",
         "format": _CKPT_FORMAT,
         "program": tuner.compiled.prog.name,
+        "fusion": tuner.compiled.fusion,
         "branching_tree": branching_tree_hash(tuner.compiled),
         "device": tuner.device.name,
         "seed": tuner.seed,
@@ -280,6 +292,13 @@ def load_checkpoint(
             raise TuningFileError(
                 f"{path}: checkpoint is for program {doc.get('program')!r}, "
                 f"not {compiled.prog.name!r}"
+            )
+        stored_fusion = doc.get("fusion")
+        if stored_fusion is not None and stored_fusion != compiled.fusion:
+            raise TuningFileError(
+                f"{path}: checkpoint was recorded with fusion mode "
+                f"{stored_fusion!r}, but the program is compiled with "
+                f"{compiled.fusion!r} (stale checkpoint?)"
             )
         if doc.get("branching_tree") != branching_tree_hash(compiled):
             raise TuningFileError(

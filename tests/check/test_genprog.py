@@ -88,6 +88,22 @@ def test_run_fuzz_clean_and_reports():
     assert report.ok, [f.error for f in report.failures]
     doc = report.to_json()
     assert doc["examples"] == 15 and doc["ok"]
+    assert doc["fusions"] == ["ilp", "off"] and doc["style"] == "default"
+
+
+def test_fusion_style_recipes_hit_fusable_shapes():
+    """The fusion-weighted grammar actually generates the shapes the ILP
+    pass exists for (fan-out, shared producers), not just default noise."""
+    blob = json.dumps(
+        [random_recipe(random.Random(s), style="fusion") for s in range(40)]
+    )
+    assert '"share"' in blob and '"fansum"' in blob
+
+
+def test_run_fuzz_fusion_style_clean():
+    report = run_fuzz(max_examples=10, seed=5, style="fusion")
+    assert report.ok, [f.error for f in report.failures]
+    assert report.to_json()["style"] == "fusion"
 
 
 def test_corpus_exists_and_replays():
@@ -100,7 +116,8 @@ def test_corpus_exists_and_replays():
 
 @pytest.mark.parametrize(
     "kind",
-    ["colred", "matloop", "vif", "sum", "scanmap", "dif", "dloop", "vintr"],
+    ["colred", "matloop", "vif", "sum", "scanmap", "dif", "dloop", "vintr",
+     "share", "fansum"],
 )
 def test_corpus_covers_flattening_rules(kind):
     """The seed corpus must keep exercising each interesting recipe kind."""

@@ -120,3 +120,102 @@ class TestMapMap:
         e = S.Map(S.Lambda(("row",), normalize(inner)), (v("xss"),))
         out = fuse(e)
         assert "Redomap" in kinds(out)
+
+
+class TestGlobalFixpoint:
+    """Regression tests for the old fixpoint-ordering bug: one rewrite at
+    the current level, then recursing into children, left chains whose
+    next fusion opportunity only appeared *after* a child rewrite."""
+
+    def test_chain_inside_if_branch(self):
+        chain = let_(
+            map_(lambda x: x * 2.0, v("xs")),
+            lambda ys: let_(
+                map_(lambda y: y + 1.0, ys),
+                lambda zs: reduce_(op2("+"), f32(0.0), zs),
+            ),
+        )
+        e = S.If(S.BinOp("<", f32(0.0), v("n")), normalize(chain), f32(0.0))
+        out = fuse(e)
+        ks = kinds(out)
+        assert "Redomap" in ks and "Map" not in ks
+
+    def test_chain_in_let_rhs(self):
+        e = S.Let(
+            ("r",),
+            normalize(let_(
+                map_(lambda x: x * 2.0, v("xs")),
+                lambda ys: let_(
+                    map_(lambda y: y + 1.0, ys),
+                    lambda zs: map_(lambda z: z * z, zs),
+                ),
+            )),
+            v("r"),
+        )
+        out = fuse(e)
+        assert len([n for n in walk(out) if type(n) is S.Map]) == 1
+
+    def test_deep_chain_inside_lambda(self):
+        inner = let_(
+            map_(lambda x: x * 2.0, v("row")),
+            lambda ys: let_(
+                map_(lambda y: y + 1.0, ys),
+                lambda zs: reduce_(op2("+"), f32(0.0), zs),
+            ),
+        )
+        e = S.Map(S.Lambda(("row",), normalize(inner)), (v("xss"),))
+        out = fuse(e)
+        ks = kinds(out)
+        assert "Redomap" in ks
+        # only the outer map over rows survives
+        assert len([n for n in walk(out) if type(n) is S.Map]) == 1
+
+    def test_fuse_is_idempotent(self):
+        e = normalize(let_(
+            map_(lambda x: x * 2.0, v("xs")),
+            lambda ys: let_(
+                map_(lambda y: y + 1.0, ys),
+                lambda zs: reduce_(op2("+"), f32(0.0), zs),
+            ),
+        ))
+        once = fuse(e)
+        assert str(fuse(once)) == str(once)
+
+
+class TestShadowingUseCounts:
+    """Regression tests for the old ``_count_uses`` bug: occurrences of
+    the produced name under a rebinding lambda/let are *not* uses of the
+    producer and must neither block nor enable fusion."""
+
+    def test_shadowed_occurrence_does_not_block_fusion(self):
+        # t's only real use is the reduce; the inner map's t is its own
+        # lambda parameter — the buggy counter saw 2 uses and declined
+        e = S.Let(
+            ("t",),
+            map_(lambda x: x * x, v("xs")),
+            reduce_(op2("+"), f32(0.0), v("t"))
+            + S.Reduce(
+                S.Lambda(("a", "b"), v("a") + v("b")),
+                (f32(0.0),),
+                (S.Map(S.Lambda(("t",), v("t") * 2.0), (v("ys"),)),),
+            ),
+        )
+        out = fuse(e)
+        assert "Redomap" in kinds(out)
+        xs = np.asarray([1.0, 2.0], np.float32)
+        ys = np.asarray([3.0, 4.0], np.float32)
+        env = {"xs": xs, "ys": ys}
+        assert EV.eval1(e, env) == EV.eval1(out, env)
+
+    def test_let_rebinding_does_not_count(self):
+        # the body rebinds t; those uses refer to the new binding
+        e = S.Let(
+            ("t",),
+            map_(lambda x: x * x, v("xs")),
+            reduce_(op2("+"), f32(0.0), v("t"))
+            + S.Let(("t",), f32(5.0), v("t") * v("t")),
+        )
+        out = fuse(e)
+        assert "Redomap" in kinds(out)
+        xs = np.asarray([1.0, 2.0, 3.0], np.float32)
+        assert EV.eval1(e, {"xs": xs}) == EV.eval1(out, {"xs": xs})

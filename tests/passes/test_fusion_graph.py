@@ -1,0 +1,120 @@
+"""Dataflow-graph construction and per-edge legality facts."""
+
+import numpy as np
+
+from repro.interp import Evaluator
+from repro.ir import source as S
+from repro.ir.builder import f32, lam, let_, map_, op2, reduce_, scan_, v
+from repro.passes import normalize
+from repro.passes.fusion_graph import (
+    build_graph,
+    count_free_uses,
+    fused_consumer,
+    kernel_proxy,
+)
+
+EV = Evaluator()
+
+
+class TestCountFreeUses:
+    def test_counts_plain_uses(self):
+        e = v("t") + v("t") * v("u")
+        assert count_free_uses(("t",), e) == 2
+        assert count_free_uses(("t", "u"), e) == 3
+
+    def test_lambda_param_shadows(self):
+        # map (λt → t + 1) xs uses the *parameter* t, not the outer t
+        e = map_(S.Lambda(("t",), v("t") + f32(1.0)), v("xs"))
+        assert count_free_uses(("t",), e) == 0
+
+    def test_let_shadows_in_body_not_rhs(self):
+        e = S.Let(("t",), v("t") * f32(2.0), v("t") + v("t"))
+        # the rhs's t is free; the body's two uses refer to the new binding
+        assert count_free_uses(("t",), e) == 1
+
+    def test_loop_params_shadow(self):
+        e = S.Loop(("t",), (v("t"),), "i", f32(3.0), v("t") + v("i"))
+        # one free use in the init; body t and i are loop-bound
+        assert count_free_uses(("t",), e) == 1
+
+
+class TestBuildGraph:
+    def test_fanout_two_reduce_edges(self):
+        e = normalize(let_(
+            map_(lambda x: x * x, v("xs")),
+            lambda t: reduce_(op2("+"), f32(0.0), t)
+            + reduce_(op2("max"), f32(-1e9), t),
+        ))
+        g = build_graph(e)
+        assert len(g.producers) == 1
+        legal = g.legal_edges
+        assert len(legal) == 2
+        assert all(edge.kind == "reduce" for edge in legal)
+        assert all(edge.covered == 1 for edge in legal)
+        assert not any(edge.exact for edge in legal)  # 2 uses, 1 covered
+
+    def test_exact_edge_reproduces_greedy_form(self):
+        e = normalize(let_(
+            map_(lambda x: x * x, v("xs")),
+            lambda t: reduce_(op2("+"), f32(0.0), t),
+        ))
+        g = build_graph(e)
+        (edge,) = g.legal_edges
+        assert edge.exact
+        fused = fused_consumer(edge)
+        assert type(fused) is S.Redomap
+
+    def test_parallel_operator_is_illegal(self):
+        # reduce whose operator itself contains a map: G4 forbids fusing
+        inner = lam(lambda a, b: reduce_(
+            op2("+"), f32(0.0), map_(lambda x_: x_, v("ys"))) + a + b)
+        e = S.Let(
+            ("t",),
+            map_(lambda x_: x_ * x_, v("xs")),
+            S.Reduce(inner, (f32(0.0),), (v("t"),)),
+        )
+        g = build_graph(normalize(e))
+        # the outer producer t must not fuse into the reduce (its operator
+        # contains parallelism); the map/reduce chain *inside* the operator
+        # lambda is an independent, legitimately fusable producer
+        (outer,) = [p for p in g.producers if "t" in p.names]
+        assert g.edges_of(outer)
+        assert all(not edge.legal for edge in g.edges_of(outer))
+        assert any("parallel" in edge.reason for edge in g.edges_of(outer))
+
+    def test_shadowed_consumer_is_illegal(self):
+        # the inner lambda rebinds t, so the inner map consumes a
+        # *different* t — no legal edge may cross that shadow
+        e = S.Let(
+            ("t",),
+            map_(lambda x_: x_ * x_, v("xs")),
+            S.Map(
+                S.Lambda(("t",), reduce_(op2("+"), f32(0.0), v("t"))),
+                (v("yss"),),
+            ),
+        )
+        g = build_graph(e)
+        assert not g.legal_edges
+
+    def test_fused_semantics_general_path(self):
+        xs = np.asarray([1.0, 2.0, 3.0], np.float32)
+        e = normalize(let_(
+            map_(lambda x: x * x, v("xs")),
+            lambda t: reduce_(op2("+"), f32(0.0), t)
+            + reduce_(op2("max"), f32(-1e9), t),
+        ))
+        g = build_graph(e)
+        for edge in g.legal_edges:
+            fused = fused_consumer(edge)
+            want = EV.eval1(edge.consumer, {
+                "xs": xs, edge.producer.names[0]: xs * xs})
+            got = EV.eval1(fused, {"xs": xs})
+            assert np.array_equal(want, got)
+
+
+def test_kernel_proxy_counts_soacs():
+    e = let_(
+        map_(lambda x: x * x, v("xs")),
+        lambda t: scan_(op2("+"), f32(0.0), t),
+    )
+    assert kernel_proxy(normalize(e)) == 2

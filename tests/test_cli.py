@@ -138,6 +138,59 @@ class TestSimulate:
         assert "--dataset value(s) for m" in capsys.readouterr().err
 
 
+class TestFusionFlag:
+    def test_show_reports_fusion_mode(self, capsys):
+        for fusion in ("ilp", "greedy", "off"):
+            code, out = run(capsys, "show", "matmul", "--fusion", fusion)
+            assert code == 0
+            assert f"fusion={fusion}" in out
+
+    def test_run_bit_identical_across_fusion_modes(self, capsys):
+        outs = {
+            fusion: run(capsys, "run", "NN", "--size", "numB=4,numP=16",
+                        "--fusion", fusion)
+            for fusion in ("ilp", "greedy", "off")
+        }
+        assert all(code == 0 for code, _ in outs.values())
+        assert outs["ilp"][1] == outs["greedy"][1] == outs["off"][1]
+
+    def test_bad_fusion_env_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSION", "bogus")
+        assert main(["show", "matmul"]) == 2
+        assert "unknown fusion mode" in capsys.readouterr().err
+
+    def test_stale_tuning_file_from_other_fusion_mode_exits_2(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # the replay leg must resolve to the default (ilp) pipeline even
+        # when the suite runs under an exported REPRO_FUSION
+        monkeypatch.delenv("REPRO_FUSION", raising=False)
+        out_file = tmp_path / "m.tuning"
+        assert main(["tune", "matmul", "--dataset", "n=32,m=1024",
+                     "--proposals", "6", "--fusion", "greedy",
+                     "--output", str(out_file)]) == 0
+        capsys.readouterr()
+        # replaying under the (default) ILP pipeline must refuse loudly
+        # rather than silently applying mismatched thresholds
+        code = main(["simulate", "matmul", "--size", "n=8,m=8",
+                     "--tuning", str(out_file)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "fusion mode 'greedy'" in err and "'ilp'" in err
+        # the matching mode still accepts it
+        assert main(["simulate", "matmul", "--size", "n=8,m=8",
+                     "--fusion", "greedy", "--tuning", str(out_file)]) == 0
+
+    def test_check_single_fusion_leg(self, capsys):
+        code, out = run(
+            capsys, "check", "matmul", "--mode", "incremental",
+            "--exec", "scalar", "--max-paths", "8", "--fusion", "ilp",
+        )
+        assert code == 0
+        assert "check: ok" in out
+
+
 class TestTune:
     def test_exhaustive(self, capsys):
         code, out = run(

@@ -8,8 +8,12 @@ Commands
   (and optionally the branching tree) for a built-in benchmark or a
   ``.fut``-style source file.
 * ``run PROG --size n=4 --size m=3 [--seed S] [--threshold t0=V]
-  [--exec scalar|vector]`` — run a program on random inputs with the
-  reference interpreter or the vectorizing executor (``docs/execution.md``).
+  [--exec scalar|vector] [--online TABLE [--device D]]`` — run a program
+  on random inputs with the reference interpreter or the vectorizing
+  executor (``docs/execution.md``); ``--online`` (or ``REPRO_ONLINE``)
+  lets the online tuner choose the thresholds from the dataset's shape
+  class, persisting what it learns to ``TABLE``
+  (``docs/online-tuning.md``).
 * ``simulate PROG --size ... [--device K40|Vega64] [--threshold t0=V]
   [--exec scalar|vector]`` — estimate the run time with the GPU cost
   model; with ``--exec`` also execute the program with that engine and
@@ -48,9 +52,12 @@ Commands
   fair-share scheduling, admission control and a content-addressed
   artifact store; SIGTERM drains in-flight jobs before exiting
   (``docs/service.md``).
-* ``submit PROG [--kind tune|compile|run] [--tenant T] [--priority
+* ``submit PROG [--kind tune|compile|run|online] [--tenant T] [--priority
   high|normal] [--stream | --wait S] ...`` — submit a job to a running
   daemon; ``--stream`` prints the job's progress events as JSON lines.
+  ``--kind online`` runs the program with daemon-side online threshold
+  dispatch: the tenant's shape-class table is refined across submissions
+  and persisted in the spool, so a restarted daemon resumes warm.
 * ``jobs`` / ``cancel JOB`` / ``fetch JOB [--output F]`` — list a
   daemon's jobs, cancel one, or fetch a finished job's artifact.
 
@@ -234,7 +241,29 @@ def cmd_run(args) -> int:
     cp = compile_program(prog, args.mode, fusion=_fusion(args))
     inputs = _random_inputs(prog, sizes, args.seed)
     th = _parse_kv(args.threshold)
-    outs = cp.run(inputs, thresholds=th or None, engine=args.exec)
+    online_path = args.online or os.environ.get("REPRO_ONLINE")
+    tuner = None
+    if online_path:
+        if th:
+            raise UserError("--online and --threshold are mutually exclusive")
+        from repro.tuning.online import OnlineTuner
+
+        device = _devices()[args.device]
+        tuner = OnlineTuner(cp, device, table_path=online_path)
+        if os.path.exists(online_path):
+            tuner.load(online_path)
+        outs = cp.run(inputs, engine=args.exec, online=tuner, sizes=sizes)
+        d = tuner.last_decision
+        print(
+            f"online: shape={d.shape} "
+            f"{'explore' if d.explored else 'exploit'}"
+            f"{' converged' if d.converged else ''} "
+            f"thresholds={d.thresholds} "
+            f"observations={tuner.total_observations()}"
+        )
+    else:
+        outs = cp.run(inputs, thresholds=th or None, engine=args.exec,
+                      sizes=sizes)
     for i, out in enumerate(outs):
         if hasattr(out, "shape"):
             print(f"result[{i}]: shape={out.shape} dtype={out.dtype}")
@@ -698,6 +727,15 @@ def _submit_spec(args) -> dict:
             sizes=_parse_kv(args.size), seed=args.seed, engine=args.engine,
             thresholds=_parse_kv(args.threshold),
         )
+    elif args.kind == "online":
+        if args.threshold:
+            raise UserError(
+                "--kind online chooses thresholds itself; drop --threshold"
+            )
+        job.update(
+            sizes=_parse_kv(args.size), seed=args.seed, engine=args.engine,
+            device=args.device,
+        )
     return job
 
 
@@ -833,6 +871,12 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--size", action="append", help="size binding n=4")
     rp.add_argument("--threshold", action="append", help="threshold t0=128")
     rp.add_argument("--seed", type=int, default=0)
+    rp.add_argument("--online", metavar="TABLE",
+                    help="choose thresholds with the online tuner, "
+                    "persisting its shape-class table to this file "
+                    "(also via REPRO_ONLINE; docs/online-tuning.md)")
+    rp.add_argument("--device", default="K40", choices=("K40", "Vega64"),
+                    help="device model for online cost observations")
     rp.add_argument("--exec", default=None,
                     choices=("scalar", "vector", "codegen"),
                     help="executor (default: REPRO_EXEC or scalar)")
@@ -993,7 +1037,7 @@ def build_parser() -> argparse.ArgumentParser:
     conn(sb)
     sb.add_argument("program", help="built-in benchmark name or source file")
     sb.add_argument("--kind", default="tune",
-                    choices=("tune", "compile", "run"))
+                    choices=("tune", "compile", "run", "online"))
     sb.add_argument("--mode", default="incremental",
                     choices=("moderate", "incremental", "full"))
     sb.add_argument("--tenant", default="default")

@@ -78,6 +78,8 @@ class CompiledProgram:
     compile_seconds: float = 0.0
     #: (sizes, device, thresholds, sim options) -> CostReport memo
     _sim_memo: dict = field(default_factory=dict, repr=False, compare=False)
+    #: sorted size assignment -> shape class memo (online dispatch hot path)
+    _shape_memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- execution ------------------------------------------------------------
 
@@ -86,6 +88,8 @@ class CompiledProgram:
         inputs: Mapping[str, object],
         thresholds: Mapping[str, int] | None = None,
         engine: str | None = None,
+        online=None,
+        sizes: Mapping[str, int] | None = None,
     ):
         """Execute with value semantics.
 
@@ -93,10 +97,55 @@ class CompiledProgram:
         oracle), ``"vector"`` (batched NumPy kernels), ``"codegen"``
         (generated-source kernels + compile cache) — all bit-identical —
         or ``None`` to follow ``REPRO_EXEC``.
+
+        ``sizes`` supplies size-variable bindings that cannot be inferred
+        from the input array shapes (e.g. loop bounds like NW's
+        ``numWaves``).
+
+        ``online`` accepts an :class:`~repro.tuning.online.OnlineTuner`:
+        the dataset's shape class selects the thresholds (learning from
+        the observed simulated cost while the class is still exploring).
+        Online choices are forced paths of the same branching tree, so
+        results stay bit-identical to any explicit threshold assignment
+        that selects the same code version.  Mutually exclusive with
+        ``thresholds``.
         """
+        if online is not None:
+            if thresholds is not None:
+                raise ValueError(
+                    "pass either explicit thresholds or online=, not both"
+                )
+            from repro.interp.evaluator import program_env
+
+            _env, all_sizes = program_env(self.prog, inputs, sizes)
+            thresholds = online.dispatch(all_sizes).thresholds or None
         return run_program(
-            self.prog, inputs, body=self.body, thresholds=thresholds, engine=engine
+            self.prog, inputs, body=self.body, thresholds=thresholds,
+            sizes=sizes, engine=engine,
         )
+
+    def shape_class(self, sizes: Mapping[str, int]) -> tuple[int, ...]:
+        """The dataset's shape class (see :mod:`repro.tuning.shapes`).
+
+        Memoized on the size assignment so steady-state online dispatch
+        re-derives no threshold ``Par`` evaluations: a repeated shape is
+        one dict lookup (``exec.dispatch.memo_hits`` proves it).
+        Disabled by ``REPRO_NO_CACHE=1`` like every cache.
+        """
+        perf.inc("exec.dispatch")
+        key = tuple(sorted(sizes.items()))
+        if perf.caching_enabled():
+            hit = self._shape_memo.get(key)
+            if hit is not None:
+                perf.inc("exec.dispatch.memo_hits")
+                return hit
+            perf.inc("exec.dispatch.memo_misses")
+        from repro.tuning.shapes import shape_class
+
+        cls = shape_class(self, dict(key))
+        if perf.caching_enabled():
+            self._shape_memo[key] = cls
+        return cls
 
     def simulate(
         self,
@@ -150,10 +199,11 @@ class CompiledProgram:
         return report
 
     def __getstate__(self):
-        # the simulation memo is a per-process cache, not program state:
-        # don't ship it to worker processes or persist it
+        # the simulation/shape memos are per-process caches, not program
+        # state: don't ship them to worker processes or persist them
         state = self.__dict__.copy()
         state["_sim_memo"] = {}
+        state["_shape_memo"] = {}
         return state
 
     # -- metadata ---------------------------------------------------------------

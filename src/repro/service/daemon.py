@@ -2,7 +2,7 @@
 
 The daemon turns the paper's batch autotuner into a long-running,
 multi-tenant service (the ROADMAP's top open item): clients submit
-tune/compile/run jobs as JSON lines over a Unix or TCP socket, the
+tune/compile/run/online jobs as JSON lines over a Unix or TCP socket, the
 :class:`~repro.service.queue.FairShareQueue` schedules them across
 tenants, runner threads execute them — sharding proposal evaluation
 through :class:`~repro.tuning.parallel.BatchExecutor` when a job asks
@@ -34,7 +34,13 @@ Crash-safety is inherited rather than reinvented: every job persists a
 record in the spool on each state change, tuning jobs checkpoint through
 the PR 5 ``--resume`` machinery into ``<spool>/ckpt/``, and a daemon
 that is ``kill -9``'d mid-job re-enqueues its interrupted jobs on
-restart and resumes them to bit-identical artifacts.  The PR 5 fault
+restart and resumes them to bit-identical artifacts.  ``online`` jobs
+execute with online threshold dispatch (``docs/online-tuning.md``): a
+long-running tenant's submissions share one
+:class:`~repro.tuning.online.OnlineTuner` per program identity, whose
+shape-class table persists atomically in ``<spool>/online/`` after every
+observation — a restarted daemon resumes the learned state monotonically
+(no acknowledged measurement is ever lost).  The PR 5 fault
 injector composes transparently (``repro serve --faults PLAN``):
 ``worker_crash`` fires inside evaluation workers and is absorbed by
 :class:`BatchExecutor`; ``process_kill`` at ``tuner.batch`` kills the
@@ -111,6 +117,23 @@ def _json_cost(cost: float) -> float | None:
     return cost if isinstance(cost, (int, float)) and math.isfinite(cost) else None
 
 
+def _output_digests(outs) -> list[dict]:
+    """Shape/dtype/sha256 of each program output (run/online payloads)."""
+    import numpy as np
+
+    digests = []
+    for out in outs:
+        arr = np.asarray(out)
+        digests.append({
+            "shape": list(arr.shape),
+            "dtype": str(arr.dtype),
+            "sha256": hashlib.sha256(
+                np.ascontiguousarray(arr).tobytes()
+            ).hexdigest(),
+        })
+    return digests
+
+
 class ServiceDaemon:
     """One service instance: listeners + queue + runners + spool + store."""
 
@@ -141,6 +164,10 @@ class ServiceDaemon:
         self._log_fn = log if log is not None else (lambda msg: None)
         self.jobs: dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
+        #: online shape-class tuners, shared across jobs and runner threads,
+        #: keyed on the program identity hash (see _online_tuner)
+        self._online: dict[str, Any] = {}
+        self._online_lock = threading.Lock()
         self._id_lock = threading.Lock()
         self._next_id = 0
         self._listeners: list[socket.socket] = []
@@ -428,7 +455,10 @@ class ServiceDaemon:
         if wait is not None and job.state not in TERMINAL_STATES:
             job.wait_terminal(float(wait))
         doc: dict[str, Any] = {"ok": True, **job.summary()}
-        if job.state == "done" and job.key:
+        if job.state == "done" and job.result is not None:
+            # online jobs carry their payload inline (never store-cached)
+            doc["artifact"] = job.result
+        elif job.state == "done" and job.key:
             # re-read through the integrity-checking store path
             payload = None
             fp = self._fingerprint_of(job)
@@ -526,6 +556,13 @@ class ServiceDaemon:
         spec = job.spec
         prog = _resolve_program(spec)
         cp = compile_program(prog, spec["mode"])
+        if spec["kind"] == "online":
+            # never cached: each submission is also an observation that
+            # refines the tenant's shape-class table
+            job.emit("started", online=True)
+            payload, evaluated = self._execute_online(job, prog, cp)
+            job.result = payload
+            return evaluated
         key, fp = artifact_key(spec, branching_tree_hash(cp))
         job.key = key
         job.emit("started", key=key)
@@ -623,25 +660,13 @@ class ServiceDaemon:
         return payload, 0
 
     def _execute_run(self, job: Job, prog, cp) -> tuple[dict, int]:
-        import numpy as np
-
         from repro.cli import _random_inputs
 
         spec = job.spec
         _check_sizes(prog, spec["sizes"], "'sizes'")
         inputs = _random_inputs(prog, spec["sizes"], spec["seed"])
         outs = cp.run(inputs, thresholds=spec["thresholds"] or None,
-                      engine=spec["engine"])
-        digests = []
-        for out in outs:
-            arr = np.asarray(out)
-            digests.append({
-                "shape": list(arr.shape),
-                "dtype": str(arr.dtype),
-                "sha256": hashlib.sha256(
-                    np.ascontiguousarray(arr).tobytes()
-                ).hexdigest(),
-            })
+                      engine=spec["engine"], sizes=spec["sizes"])
         payload = {
             "kind": "run",
             "program": prog.name,
@@ -649,6 +674,70 @@ class ServiceDaemon:
             "engine": spec["engine"],
             "sizes": dict(spec["sizes"]),
             "seed": spec["seed"],
-            "outputs": digests,
+            "outputs": _output_digests(outs),
         }
         return payload, 0
+
+    # -- online threshold dispatch -------------------------------------------
+
+    def _online_tuner(self, cp, device):
+        """The shared online tuner for one (program, mode, fusion, device,
+        branching tree) identity; created lazily, resumed from the spool's
+        persisted table when one survives a restart."""
+        from repro.tuning.online import OnlineTuner
+        from repro.tuning.persist import TuningFileError, branching_tree_hash
+
+        ident = (f"{cp.prog.name}|{cp.mode}|{cp.fusion}|{device.name}|"
+                 f"{branching_tree_hash(cp)}")
+        key = hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
+        with self._online_lock:
+            tuner = self._online.get(key)
+            if tuner is None:
+                path = self.spool.online_path(key)
+                tuner = OnlineTuner(cp, device, table_path=path)
+                if os.path.exists(path):
+                    try:
+                        restored = tuner.load(path)
+                        self._log(f"online table {key}: resumed "
+                                  f"{restored} observation(s)")
+                    except TuningFileError as exc:
+                        self._log(f"online table {key}: "
+                                  f"discarding stale table ({exc})")
+                self._online[key] = tuner
+            return tuner
+
+    def _execute_online(self, job: Job, prog, cp) -> tuple[dict, int]:
+        """Run with online threshold dispatch; an explore-path dispatch
+        counts as one evaluated proposal, an exploit-path one as zero."""
+        from repro.cli import _random_inputs
+
+        spec = job.spec
+        _check_sizes(prog, spec["sizes"], "'sizes'")
+        device = _device(spec["device"])
+        tuner = self._online_tuner(cp, device)
+        decision = tuner.dispatch(spec["sizes"])
+        job.emit(
+            "dispatch", shape=decision.shape, explored=decision.explored,
+            converged=decision.converged, thresholds=decision.thresholds,
+            cost=_json_cost(decision.cost) if decision.cost is not None else None,
+            observations=tuner.total_observations(),
+        )
+        inputs = _random_inputs(prog, spec["sizes"], spec["seed"])
+        outs = cp.run(inputs, thresholds=decision.thresholds or None,
+                      engine=spec["engine"], sizes=spec["sizes"])
+        payload = {
+            "kind": "online",
+            "program": prog.name,
+            "mode": spec["mode"],
+            "engine": spec["engine"],
+            "device": spec["device"],
+            "sizes": dict(spec["sizes"]),
+            "seed": spec["seed"],
+            "shape": decision.shape,
+            "explored": decision.explored,
+            "converged": decision.converged,
+            "thresholds": dict(decision.thresholds),
+            "observations": tuner.total_observations(),
+            "outputs": _output_digests(outs),
+        }
+        return payload, 1 if decision.explored else 0

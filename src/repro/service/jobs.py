@@ -1,10 +1,13 @@
 """Service jobs: specs, content fingerprints, runtime state, the spool.
 
 A *job spec* is the client-supplied description of one unit of work —
-``tune`` (autotune thresholds), ``compile`` (flatten + codegen metadata)
-or ``run`` (execute on deterministic random inputs) — normalised here to
-a canonical field set so that equivalent submissions fingerprint
-identically.
+``tune`` (autotune thresholds), ``compile`` (flatten + codegen metadata),
+``run`` (execute on deterministic random inputs) or ``online`` (execute
+with daemon-side online threshold dispatch, refining the tenant's
+shape-class table; ``docs/online-tuning.md``) — normalised here to a
+canonical field set so that equivalent submissions fingerprint
+identically.  ``online`` jobs are never served from the artifact store:
+every submission is also an observation that refines the table.
 
 The *fingerprint* covers exactly what determines the artifact: the
 program identity (name, flattening mode, branching-tree hash), the
@@ -46,7 +49,7 @@ __all__ = [
     "Spool",
 ]
 
-JOB_KINDS = ("tune", "compile", "run")
+JOB_KINDS = ("tune", "compile", "run", "online")
 TERMINAL_STATES = ("done", "failed", "canceled")
 
 _DEVICES = ("K40", "Vega64")
@@ -134,6 +137,14 @@ def normalize_spec(doc: Any) -> dict:
             },
         )
         known |= {"sizes", "seed", "engine", "thresholds"}
+    elif kind == "online":
+        spec.update(
+            sizes=_as_sizes(doc.get("sizes"), "'sizes'"),
+            seed=int(doc.get("seed", 0)),
+            engine=_choice(doc, "engine", _ENGINES, "scalar"),
+            device=_choice(doc, "device", _DEVICES, "K40"),
+        )
+        known |= {"sizes", "seed", "engine", "device"}
     unknown = set(doc) - known
     if unknown:
         raise JobSpecError(f"unknown job field(s): {sorted(unknown)}")
@@ -175,6 +186,9 @@ class Job:
         self.error: str | None = None
         self.key: str | None = None  # artifact-store key, set at run time
         self.cached = False  # served from the artifact store
+        #: inline result payload for jobs that bypass the artifact store
+        #: (online jobs: each submission is an observation, never a cache hit)
+        self.result: dict | None = None
         self.cancel_requested = False
         self.events: list[dict] = []
         self._cond = threading.Condition()
@@ -244,6 +258,7 @@ class Job:
             "error": self.error,
             "key": self.key,
             "cached": self.cached,
+            "result": self.result,
             "spec": self.spec,
             "events": list(self.events),
         }
@@ -258,25 +273,34 @@ class Job:
         job.error = doc.get("error")
         job.key = doc.get("key")
         job.cached = bool(doc.get("cached", False))
+        job.result = doc.get("result")
         job.events = list(doc.get("events", []))
         return job
 
 
 class Spool:
-    """The daemon's durable state: job records + tuning checkpoints."""
+    """The daemon's durable state: job records, tuning checkpoints, and
+    online shape-class tables (``<spool>/online/``)."""
 
     def __init__(self, root: str):
         self.root = os.fspath(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.ckpt_dir = os.path.join(self.root, "ckpt")
+        self.online_dir = os.path.join(self.root, "online")
         os.makedirs(self.jobs_dir, exist_ok=True)
         os.makedirs(self.ckpt_dir, exist_ok=True)
+        os.makedirs(self.online_dir, exist_ok=True)
 
     def record_path(self, job_id: str) -> str:
         return os.path.join(self.jobs_dir, job_id + ".json")
 
     def ckpt_path(self, job_id: str) -> str:
         return os.path.join(self.ckpt_dir, job_id + ".ckpt.json")
+
+    def online_path(self, key: str) -> str:
+        """Where an online shape-class table persists (key: program
+        identity hash, see ``ServiceDaemon._online_tuner``)."""
+        return os.path.join(self.online_dir, key + ".json")
 
     def save(self, job: Job) -> None:
         """Atomically persist the job record (crash-safe, PR 5 ioutil)."""

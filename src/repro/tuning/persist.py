@@ -36,12 +36,16 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "checkpoint_path",
+    "online_table_doc",
+    "save_online_table",
+    "load_online_table",
     "branching_tree_hash",
     "TuningFileError",
 ]
 
 _FORMAT = 1
 _CKPT_FORMAT = 1
+_ONLINE_FORMAT = 1
 
 
 class TuningFileError(Exception):
@@ -326,4 +330,103 @@ def load_checkpoint(
         ]
     except (TypeError, ValueError) as exc:
         raise TuningFileError(f"{path}: malformed checkpoint ({exc})") from None
+    return doc
+
+
+# -- online per-shape-class threshold tables -----------------------------------
+
+
+def online_table_doc(tuner) -> dict:
+    """The persisted form of an :class:`~repro.tuning.online.OnlineTuner`.
+
+    Stamped like a tuning file — program, mode, fusion mode, branching-tree
+    hash, device — plus the enumerated arms (forced branching-tree paths)
+    the per-class statistics index into, so a resumed service can detect
+    that a recompile or flag change invalidated the learned state.
+    """
+    compiled = tuner.compiled
+    return {
+        "kind": "online-table",
+        "format": _ONLINE_FORMAT,
+        "program": compiled.prog.name,
+        "mode": compiled.mode,
+        "fusion": compiled.fusion,
+        "branching_tree": branching_tree_hash(compiled),
+        "device": tuner.device.name,
+        "explore_budget": tuner.explore_budget,
+        "arms": [dict(a) for a in tuner.arms],
+        "arms_truncated": tuner.arms_truncated,
+        "classes": tuner.classes_doc(),
+    }
+
+
+def save_online_table(path: str, tuner) -> None:
+    """Atomically persist an online tuner's shape-class table.
+
+    Called after every explore-path observation, so an acknowledged
+    measurement survives ``kill -9`` — either the previous table or the
+    one including the new observation is on disk, never a torn mix.
+    """
+    atomic_write_json(path, online_table_doc(tuner), indent=2, sort_keys=True)
+
+
+def load_online_table(
+    path: str,
+    compiled: CompiledProgram | None = None,
+    device: str | None = None,
+) -> dict:
+    """Read an online shape-class table, verifying it matches ``compiled``.
+
+    Raises :class:`TuningFileError` on a malformed file or on any staleness
+    (format, program, fusion mode, branching tree, device) — per-class
+    statistics index arms by position, so resuming a table enumerated from
+    a different branching tree would learn garbage silently.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise TuningFileError(f"cannot read online table {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise TuningFileError(f"{path}: not an online table ({exc})") from None
+    if doc.get("kind") != "online-table":
+        raise TuningFileError(f"{path}: not an online tuning table")
+    if doc.get("format") != _ONLINE_FORMAT:
+        raise TuningFileError(
+            f"{path}: unsupported online-table format {doc.get('format')}"
+        )
+    if compiled is not None:
+        if doc.get("program") != compiled.prog.name:
+            raise TuningFileError(
+                f"{path}: online table is for program {doc.get('program')!r}, "
+                f"not {compiled.prog.name!r}"
+            )
+        stored_fusion = doc.get("fusion")
+        if stored_fusion is not None and stored_fusion != compiled.fusion:
+            raise TuningFileError(
+                f"{path}: online table was learned under fusion mode "
+                f"{stored_fusion!r}, but the program is compiled with "
+                f"{compiled.fusion!r} (stale online table?)"
+            )
+        if doc.get("branching_tree") != branching_tree_hash(compiled):
+            raise TuningFileError(
+                f"{path}: branching tree differs from the compiled program "
+                f"(stale online table?)"
+            )
+    if device and doc.get("device") and doc["device"] != device:
+        raise TuningFileError(
+            f"{path}: online table is for device {doc['device']!r}, "
+            f"not {device!r}"
+        )
+    try:
+        for key, cdoc in doc.get("classes", {}).items():
+            [int(n) for n in cdoc["plays"]]
+            [float(c) for c in cdoc["total_cost"]]
+            [float(r) for r in cdoc["rewards"]]
+            [[int(a), float(c)] for a, c in cdoc.get("curve", [])]
+            dc = cdoc.get("default_cost")
+            if dc is not None:
+                float(dc)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TuningFileError(f"{path}: malformed online table ({exc})") from None
     return doc

@@ -48,6 +48,47 @@ def test_enumerate_truncates_explicitly():
     assert len(paths) == 10
 
 
+def test_enumerate_single_version_no_trees():
+    """A guard-free program has exactly one path: the empty assignment."""
+    paths, truncated = enumerate_forced_paths([], max_paths=10)
+    assert paths == [{}] and not truncated
+
+
+def test_enumerate_moderate_program_is_single_version():
+    from repro.bench.programs.matmul import matmul_program
+
+    cp = compile_program(matmul_program(), "moderate")
+    paths, truncated = enumerate_forced_paths(cp.branching_trees(), max_paths=10)
+    assert paths == [{}] and not truncated
+
+
+def test_enumerate_shared_threshold_siblings_prune_impossible():
+    """Two sibling trees guarded by the same threshold cannot be forced
+    in opposite directions: the cross product collapses to two paths."""
+    trees = [BranchNode("t0", None, 1, 2), BranchNode("t0", None, 3, 4)]
+    paths, truncated = enumerate_forced_paths(trees, max_paths=100)
+    assert not truncated
+    assert {frozenset(p.items()) for p in paths} == {
+        frozenset({("t0", FORCE_TRUE)}),
+        frozenset({("t0", FORCE_FALSE)}),
+    }
+
+
+def test_enumerate_shared_threshold_nested_in_sibling():
+    """A shared threshold nested inside one sibling only constrains the
+    combinations where that guard is actually reached."""
+    trees = [
+        BranchNode("t0", None, 1, 2),
+        BranchNode("t1", None, 3, [BranchNode("t0", None, 4, 5)]),
+    ]
+    paths, truncated = enumerate_forced_paths(trees, max_paths=100)
+    assert not truncated
+    # tree1 x tree2 = 2 x 3 = 6 combos; the two forcing t0 both ways die
+    assert len(paths) == 4
+    for p in paths:
+        assert p["t0"] in (FORCE_TRUE, FORCE_FALSE)
+
+
 def test_bit_equal_is_exact():
     a = np.array([1.0, 2.0], dtype=np.float32)
     assert bit_equal(a, a.copy())

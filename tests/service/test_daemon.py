@@ -104,6 +104,36 @@ class TestJobs:
         finally:
             daemon.stop()
 
+    def test_online_jobs_observe_and_resume_across_restart(self, tmp):
+        """Identical online submissions are never cache hits — each one is
+        a live observation refining the shared shape-class table — and a
+        daemon restart resumes the table from ``<spool>/online/``."""
+        job = {"kind": "online", "program": "matmul",
+               "sizes": {"n": 4, "m": 8}, "engine": "scalar"}
+        daemon, client = start(tmp)
+        try:
+            arts = []
+            for _ in range(3):
+                res = client.result(client.submit(job)["job"], wait=30)
+                assert res["state"] == "done" and not res["cached"]
+                arts.append(res["artifact"])
+            assert arts[0]["kind"] == "online"
+            assert [a["observations"] for a in arts] == [1, 2, 3]
+            assert arts[0]["explored"] and arts[0]["thresholds"] == {}
+            # the executed outputs are bit-identical to a plain run job
+            # forced down the same decided path
+            explicit = dict(job, kind="run", thresholds=arts[-1]["thresholds"])
+            res = client.result(client.submit(explicit)["job"], wait=30)
+            assert res["artifact"]["outputs"] == arts[-1]["outputs"]
+        finally:
+            daemon.stop()
+        daemon2, client2 = start(tmp)  # same spool: warm resume
+        try:
+            res = client2.result(client2.submit(job)["job"], wait=30)
+            assert res["artifact"]["observations"] == 4
+        finally:
+            daemon2.stop()
+
     def test_event_stream_parses_in_sequence_order(self, tmp):
         daemon, client = start(tmp)
         try:

@@ -1,0 +1,319 @@
+"""Online adaptive threshold tuning: dispatch, convergence, persistence.
+
+The online tuner only ever selects forced paths of the compiled program's
+branching tree, so execution under online dispatch must stay bit-identical
+to an explicit threshold assignment selecting the same code version — the
+first class here checks exactly that, across execution engines.  The rest
+covers the learning loop (bootstrap on untuned defaults, early-termination
+censoring, convergence, the zero-work exploit path) and the crash-safe
+table round trip through ``tuning/persist.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.bench.datasets import table1_sizes
+from repro.bench.programs.matmul import matmul_program
+from repro.bench.programs.nw import nw_program
+from repro.check.differential import enumerate_forced_paths
+from repro.cli import _random_inputs, main
+from repro.compiler import compile_program
+from repro.gpu import K40, VEGA64
+from repro.tuning import (
+    OnlineTuner,
+    TuningFileError,
+    load_online_table,
+    log_bucket,
+    save_online_table,
+    shape_key,
+)
+
+NW_D1 = table1_sizes("NW", "D1")
+NW_D2 = table1_sizes("NW", "D2")
+
+
+@pytest.fixture(scope="module")
+def nw_if():
+    return compile_program(nw_program(), "incremental")
+
+
+@pytest.fixture(scope="module")
+def matmul_if():
+    return compile_program(matmul_program(), "incremental")
+
+
+def converge(tuner, sizes, limit=200):
+    """Dispatch ``sizes`` until its class converges; returns decisions."""
+    decisions = []
+    for _ in range(limit):
+        d = tuner.dispatch(sizes)
+        decisions.append(d)
+        if d.converged:
+            return decisions
+    raise AssertionError(f"no convergence within {limit} dispatches")
+
+
+class TestShapeClasses:
+    def test_log_bucket(self):
+        assert log_bucket(0) == 0
+        assert log_bucket(1) == 1
+        assert log_bucket(2**15) == 16
+        assert log_bucket(2**15 - 1) == 15
+
+    def test_shape_key_format(self, nw_if):
+        key = shape_key(nw_if.shape_class(NW_D1))
+        assert key and all(part.startswith("b") for part in key.split("."))
+
+    def test_distinct_datasets_distinct_classes(self, nw_if):
+        assert nw_if.shape_class(NW_D1) != nw_if.shape_class(NW_D2)
+
+    def test_fingerprint_memoized(self, nw_if):
+        perf.reset()
+        nw_if._shape_memo.clear()
+        nw_if.shape_class(NW_D1)
+        for _ in range(5):
+            nw_if.shape_class(NW_D1)
+        counters = perf.snapshot()["counters"]
+        assert counters["exec.dispatch"] == 6
+        assert counters["exec.dispatch.memo_hits"] == 5
+        assert counters["exec.dispatch.memo_misses"] == 1
+
+
+class TestDispatch:
+    def test_arms_are_forced_paths(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        paths, truncated = enumerate_forced_paths(
+            nw_if.branching_trees(), max_paths=256
+        )
+        assert not truncated and not tuner.arms_truncated
+        assert tuner.arms == paths
+
+    def test_bootstrap_runs_untuned_defaults(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        d = tuner.dispatch(NW_D1)
+        assert d.explored and d.arm == -1 and d.thresholds == {}
+        assert d.cost == pytest.approx(float(nw_if.simulate(NW_D1, K40).time))
+
+    def test_converges_to_exhaustive_optimum(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        converge(tuner, NW_D1)
+        frozen = tuner.converged_classes()[shape_key(nw_if.shape_class(NW_D1))]
+        best = min(
+            float(nw_if.simulate(NW_D1, K40, thresholds=p or None).time)
+            for p in tuner.arms
+        )
+        got = float(nw_if.simulate(NW_D1, K40, thresholds=frozen or None).time)
+        assert got == pytest.approx(best)
+
+    def test_exploit_path_does_no_simulation(self, nw_if, monkeypatch):
+        tuner = OnlineTuner(nw_if, K40)
+        converge(tuner, NW_D1)
+
+        def boom(*a, **kw):
+            raise AssertionError("exploit path must not simulate")
+
+        monkeypatch.setattr(tuner.compiled, "simulate", boom)
+        d = tuner.dispatch(NW_D1)
+        assert not d.explored and d.converged and d.cost is None
+
+    def test_exploration_cost_is_bounded(self, nw_if):
+        """Early termination: no explored item may cost more than
+        ``(timeout_factor + 1)`` incumbents, and the incumbent never
+        exceeds the untuned default."""
+        tuner = OnlineTuner(nw_if, K40)
+        decisions = converge(tuner, NW_D1)
+        default = float(nw_if.simulate(NW_D1, K40).time)
+        cap = (tuner.timeout_factor + 1) * default
+        assert any(d.censored for d in decisions[1:])
+        for d in decisions:
+            assert d.cost <= cap * (1 + 1e-12)
+
+    def test_classes_learn_independently(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        converge(tuner, NW_D1)
+        d = tuner.dispatch(NW_D2)  # new class starts exploring from scratch
+        assert d.explored and d.arm == -1
+        assert len(tuner.classes_doc()) == 2
+
+    def test_single_version_program_converges_immediately(self):
+        """A guard-free (moderate-mode) program has the one arm ``{}``:
+        its first item both seeds the default and freezes the winner."""
+        cp = compile_program(matmul_program(), "moderate")
+        tuner = OnlineTuner(cp, K40)
+        assert tuner.arms == [{}]
+        d = tuner.dispatch({"n": 8, "m": 8})
+        assert d.converged and d.arm == 0 and d.thresholds == {}
+        assert tuner.total_observations() == 1
+
+    def test_rejects_bad_timeout_factor(self, nw_if):
+        with pytest.raises(ValueError, match="timeout_factor"):
+            OnlineTuner(nw_if, K40, timeout_factor=1.0)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("engine", ["scalar", "vector", "codegen"])
+    def test_online_run_matches_explicit_thresholds(self, matmul_if, engine):
+        """Every online decision is a forced path of the same branching
+        tree, so outputs are bit-identical to passing those thresholds
+        explicitly — on every execution engine."""
+        tuner = OnlineTuner(matmul_if, K40)
+        sizes = {"n": 3, "m": 4}
+        inputs = _random_inputs(matmul_if.prog, sizes, seed=7)
+        for _ in range(4):
+            got = matmul_if.run(inputs, engine=engine, online=tuner)
+            want = matmul_if.run(
+                inputs, thresholds=tuner.last_decision.thresholds or None,
+                engine=engine,
+            )
+            for g, w in zip(got, want):
+                assert np.array_equal(np.asarray(g), np.asarray(w))
+
+    def test_online_and_thresholds_mutually_exclusive(self, matmul_if):
+        tuner = OnlineTuner(matmul_if, K40)
+        inputs = _random_inputs(matmul_if.prog, {"n": 2, "m": 2}, seed=0)
+        with pytest.raises(ValueError, match="not both"):
+            matmul_if.run(inputs, thresholds={"t0": 1}, online=tuner)
+
+
+class TestPersistence:
+    def test_round_trip_restores_state(self, nw_if, tmp_path):
+        path = str(tmp_path / "nw.online.json")
+        tuner = OnlineTuner(nw_if, K40)
+        converge(tuner, NW_D1)
+        tuner.dispatch(NW_D2)
+        tuner.save(path)
+
+        fresh = OnlineTuner(nw_if, K40)
+        assert fresh.load(path) == tuner.total_observations()
+        assert fresh.classes_doc() == tuner.classes_doc()
+        assert fresh.converged_classes() == tuner.converged_classes()
+        # a restored converged class exploits without re-learning
+        assert not fresh.dispatch(NW_D1).explored
+
+    def test_resume_is_monotone(self, nw_if, tmp_path):
+        """The chaos CI leg's invariant: reload never loses acknowledged
+        observations, and continuing only adds to them."""
+        path = str(tmp_path / "nw.online.json")
+        tuner = OnlineTuner(nw_if, K40, table_path=path)
+        for _ in range(3):
+            tuner.dispatch(NW_D1)
+        before = tuner.total_observations()
+
+        resumed = OnlineTuner(nw_if, K40, table_path=path)
+        assert resumed.load(path) == before
+        resumed.dispatch(NW_D1)
+        assert resumed.total_observations() == before + 1
+
+    def test_every_observation_is_on_disk(self, nw_if, tmp_path):
+        """With ``table_path`` set, the table on disk always reflects the
+        decision just returned (crash-safety: acknowledged == persisted)."""
+        path = str(tmp_path / "nw.online.json")
+        tuner = OnlineTuner(nw_if, K40, table_path=path)
+        for i in range(1, 4):
+            tuner.dispatch(NW_D1)
+            fresh = OnlineTuner(nw_if, K40)
+            assert fresh.load(path) == i
+
+    def test_rejects_other_program(self, nw_if, matmul_if, tmp_path):
+        path = str(tmp_path / "nw.online.json")
+        tuner = OnlineTuner(nw_if, K40)
+        tuner.dispatch(NW_D1)
+        save_online_table(path, tuner)
+        with pytest.raises(TuningFileError, match="program"):
+            load_online_table(path, matmul_if)
+
+    def test_rejects_other_device(self, nw_if, tmp_path):
+        path = str(tmp_path / "nw.online.json")
+        save_online_table(path, OnlineTuner(nw_if, K40))
+        with pytest.raises(TuningFileError, match="device"):
+            OnlineTuner(nw_if, VEGA64).load(path)
+
+    def test_rejects_fusion_mismatch(self, nw_if, tmp_path):
+        path = tmp_path / "nw.online.json"
+        save_online_table(str(path), OnlineTuner(nw_if, K40))
+        doc = json.loads(path.read_text())
+        doc["fusion"] = "greedy"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(TuningFileError, match="fusion mode"):
+            load_online_table(str(path), nw_if)
+
+    def test_rejects_changed_branching_tree(self, nw_if, tmp_path):
+        path = tmp_path / "nw.online.json"
+        save_online_table(str(path), OnlineTuner(nw_if, K40))
+        doc = json.loads(path.read_text())
+        doc["branching_tree"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        with pytest.raises(TuningFileError, match="branching tree"):
+            load_online_table(str(path), nw_if)
+
+    def test_rejects_unsupported_format(self, nw_if, tmp_path):
+        path = tmp_path / "nw.online.json"
+        save_online_table(str(path), OnlineTuner(nw_if, K40))
+        doc = json.loads(path.read_text())
+        doc["format"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(TuningFileError, match="format"):
+            load_online_table(str(path), nw_if)
+
+    def test_rejects_mismatched_arms(self, nw_if, tmp_path):
+        path = tmp_path / "nw.online.json"
+        save_online_table(str(path), OnlineTuner(nw_if, K40))
+        doc = json.loads(path.read_text())
+        doc["arms"] = doc["arms"][:-1]  # a path disappeared
+        path.write_text(json.dumps(doc))
+        with pytest.raises(TuningFileError, match="arms"):
+            OnlineTuner(nw_if, K40).load(str(path))
+
+    def test_rejects_malformed_classes(self, nw_if, tmp_path):
+        path = tmp_path / "nw.online.json"
+        tuner = OnlineTuner(nw_if, K40)
+        tuner.dispatch(NW_D1)
+        save_online_table(str(path), tuner)
+        doc = json.loads(path.read_text())
+        for cdoc in doc["classes"].values():
+            del cdoc["plays"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(TuningFileError, match="malformed"):
+            load_online_table(str(path), nw_if)
+
+    def test_rejects_non_json(self, nw_if, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json {")
+        with pytest.raises(TuningFileError, match="not an online table"):
+            load_online_table(str(path), nw_if)
+
+
+class TestCLI:
+    def test_online_flag_round_trips(self, capsys, tmp_path):
+        path = str(tmp_path / "t.online.json")
+        argv = ["run", "matmul", "--size", "n=3,m=4", "--online", path]
+        assert main(list(argv)) == 0
+        out = capsys.readouterr().out
+        assert "online:" in out and "observations=1" in out
+        assert main(list(argv)) == 0
+        assert "observations=2" in capsys.readouterr().out
+
+    def test_online_excludes_explicit_thresholds(self, capsys, tmp_path):
+        code = main([
+            "run", "matmul", "--size", "n=2,m=2",
+            "--online", str(tmp_path / "t.json"), "--threshold", "t0=1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+
+    def test_stale_table_is_an_error(self, capsys, tmp_path):
+        path = tmp_path / "t.online.json"
+        argv = ["run", "matmul", "--size", "n=2,m=2", "--online", str(path)]
+        assert main(list(argv)) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        doc["branching_tree"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        assert main(list(argv)) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "branching tree" in err
+        assert len(err.strip().splitlines()) == 1

@@ -34,7 +34,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro import faults
 from repro.bench.datasets import training_datasets
@@ -51,18 +51,29 @@ DEFAULT_PROGRAMS = ("matmul", "Heston", "Pathfinder")
 
 
 def chaos_plan(seed: int = 0) -> "faults.FaultPlan":
-    """The default recoverable schedule, plus a bounded worker crash."""
+    """The default recoverable schedule, plus a bounded worker crash and
+    bounded guarded-launch failures (the execution guard's demotion
+    ladder must heal those bit-identically, ``docs/guarded-execution.md``)."""
     base = faults.default_chaos_plan(seed)
-    return faults.FaultPlan(
+    plan = faults.FaultPlan(
         seed=base.seed,
         rules=base.rules + (
             faults.FaultRule(
                 site="worker.eval", kind="worker_crash", p=0.5, max_fires=1
             ),
+            faults.FaultRule(
+                site="exec.launch.*", kind="launch", p=0.25, max_fires=6
+            ),
         ),
         retries=base.retries,
         backoff_s=base.backoff_s,
     )
+    # keep the plan recoverable by construction: the retry budget must
+    # exceed the schedule's total bounded fires even as rules are added
+    fires = plan.max_total_fires()
+    if fires is not None and plan.retries <= fires:
+        plan = replace(plan, retries=fires + 1)
+    return plan
 
 
 @dataclass

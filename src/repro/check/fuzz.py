@@ -218,5 +218,9 @@ def load_corpus(directory: str | Path) -> list[tuple[str, dict]]:
     out: list[tuple[str, dict]] = []
     for path in sorted(Path(directory).glob("*.json")):
         doc = json.loads(path.read_text())
+        if "body" not in doc:
+            # not a recipe: e.g. a "guard-divergence" document landed by
+            # the execution guard's spot verifier (docs/guarded-execution.md)
+            continue
         out.append((path.stem, doc))
     return out

@@ -60,6 +60,10 @@ Commands
   and persisted in the spool, so a restarted daemon resumes warm.
 * ``jobs`` / ``cancel JOB`` / ``fetch JOB [--output F]`` — list a
   daemon's jobs, cancel one, or fetch a finished job's artifact.
+* ``health`` — query a running daemon's health document: queue wait
+  EWMA, admission/shedding state, and the execution guard's circuit
+  breakers and demotion/verification counters
+  (``docs/guarded-execution.md``).
 
 ``show``, ``run``, ``simulate``, ``tune`` and ``profile`` accept
 ``--fusion ilp|greedy|off`` to select the fusion pass (default: the
@@ -235,6 +239,10 @@ def cmd_show(args) -> int:
 def cmd_run(args) -> int:
     from repro.compiler import compile_program
 
+    if args.verify_rate is not None:
+        from repro.exec import guard
+
+        guard.set_verify_rate(args.verify_rate)
     prog = _resolve_program(args.program)
     sizes = _parse_kv(args.size)
     _check_sizes(prog, sizes)
@@ -627,6 +635,13 @@ def cmd_check(args) -> int:
                 )
             except KeyError as ex:
                 raise UserError(ex.args[0]) from None
+            except Exception as ex:
+                # a crash in the harness itself is NOT a differential
+                # divergence: report it as a usage/infrastructure error
+                # (exit 2, "repro: error:") so CI can tell the two apart
+                raise UserError(
+                    f"chaos harness error: {type(ex).__name__}: {ex}"
+                ) from None
             doc["chaos"] = [r.to_json() for r in chaos_reports]
             for crep in chaos_reports:
                 status = "ok" if crep.ok else "FAIL"
@@ -673,6 +688,10 @@ def cmd_serve(args) -> int:
 
     if args.socket is None and args.port is None:
         raise UserError("serve needs --socket PATH and/or --port N")
+    if args.verify_rate is not None:
+        from repro.exec import guard
+
+        guard.set_verify_rate(args.verify_rate)
 
     def log(msg: str) -> None:
         print(f"[serve] {msg}", flush=True)
@@ -687,6 +706,7 @@ def cmd_serve(args) -> int:
         retry_after_s=args.retry_after,
         store_dir=args.store,
         store_max=args.store_max,
+        shed_watermark_s=args.shed_watermark,
         log=log,
     )
     daemon.start()
@@ -766,8 +786,9 @@ def cmd_submit(args) -> int:
         print(f"job {job_id} queued (depth {reply.get('depth')})")
         return 0
     except ServiceError as exc:
-        if exc.code == 429:
-            print(f"repro: submit rejected: {exc} "
+        if exc.code in (429, 503):
+            why = "rejected" if exc.code == 429 else "shed (overloaded)"
+            print(f"repro: submit {why}: {exc} "
                   f"(retry after {exc.retry_after_s:g}s)", file=sys.stderr)
             return 1
         raise UserError(str(exc)) from None
@@ -794,6 +815,43 @@ def cmd_jobs(args) -> int:
         err = f"  ({s['error']})" if s.get("error") else ""
         print(f"  {s['id']:>4} {s['tenant']:>10} {s['priority']:>6} "
               f"{s['kind']:>7} {s['program']:<14} {s['state']}{flags}{err}")
+    return 0
+
+
+def cmd_health(args) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        doc = client.health()
+    except ServiceError as exc:
+        raise UserError(str(exc)) from None
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    queue = doc.get("queue", {})
+    adm = doc.get("admission", {})
+    print(f"queue: depth {queue.get('depth', 0)} "
+          f"wait_ewma {queue.get('wait_ewma_s', 0.0):.3f}s")
+    print(f"admission: max_depth {adm.get('max_depth')} "
+          f"watermark {adm.get('watermark_s')}s "
+          f"shedding {'YES' if adm.get('shedding') else 'no'}")
+    g = doc.get("guard", {})
+    print(f"guard: active {'yes' if g.get('active') else 'no'} "
+          f"verify_rate {g.get('verify_rate', 0.0):g} "
+          f"demotions {g.get('demotions', 0)}")
+    breakers = g.get("breakers", [])
+    if breakers:
+        print("breakers:")
+        for b in breakers:
+            print(f"  {b['key'][:16]:>16} {b['tier']:>8} {b['state']:>9} "
+                  f"fails={b['fails']} trips={b['trips']} "
+                  f"probes={b['probes']}")
+    else:
+        print("breakers: none tripped")
+    counters = doc.get("counters", {})
+    for name in sorted(counters):
+        print(f"  {name} = {counters[name]}")
     return 0
 
 
@@ -880,6 +938,10 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--exec", default=None,
                     choices=("scalar", "vector", "codegen"),
                     help="executor (default: REPRO_EXEC or scalar)")
+    rp.add_argument("--verify-rate", type=float, default=None, metavar="P",
+                    help="spot-verify this fraction of guarded kernel "
+                    "launches against the vector oracle "
+                    "(also via REPRO_VERIFY_RATE; docs/guarded-execution.md)")
     rp.add_argument("--faults", metavar="PLAN",
                     help="inject faults from a plan (JSON file or inline)")
 
@@ -1029,6 +1091,13 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--store-max", type=int, default=None, metavar="N",
                     help="artifact store LRU bound "
                     "(default: REPRO_SERVICE_STORE_MAX or 256)")
+    sv.add_argument("--shed-watermark", type=float, default=5.0, metavar="S",
+                    help="shed normal-priority jobs while queue wait EWMA "
+                    "is over S seconds (0 disables; default 5)")
+    sv.add_argument("--verify-rate", type=float, default=None, metavar="P",
+                    help="spot-verify this fraction of guarded kernel "
+                    "launches against the vector oracle "
+                    "(also via REPRO_VERIFY_RATE)")
     sv.add_argument("--faults", metavar="PLAN",
                     help="inject faults from a plan (JSON file or inline)")
     sv.add_argument("--trace", help="write a Chrome-trace JSON file")
@@ -1070,6 +1139,12 @@ def build_parser() -> argparse.ArgumentParser:
     conn(jp)
     jp.add_argument("--json", action="store_true", help="raw JSON output")
 
+    hp = sub.add_parser(
+        "health", help="query a running daemon's health and guard state"
+    )
+    conn(hp)
+    hp.add_argument("--json", action="store_true", help="raw JSON output")
+
     xp = sub.add_parser("cancel", help="cancel a submitted job")
     conn(xp)
     xp.add_argument("job", help="job id (from submit)")
@@ -1098,6 +1173,7 @@ def _run_command(args) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
+        "health": cmd_health,
         "cancel": cmd_cancel,
         "fetch": cmd_fetch,
     }[args.command]

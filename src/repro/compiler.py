@@ -115,10 +115,15 @@ class CompiledProgram:
                 raise ValueError(
                     "pass either explicit thresholds or online=, not both"
                 )
+            from repro.exec import guard
             from repro.interp.evaluator import program_env
 
             _env, all_sizes = program_env(self.prog, inputs, sizes)
-            thresholds = online.dispatch(all_sizes).thresholds or None
+            # a degraded engine stack (open breaker) makes this launch
+            # unrepresentative — dispatch serves but does not learn
+            thresholds = online.dispatch(
+                all_sizes, demoted=guard.demotion_active()
+            ).thresholds or None
         return run_program(
             self.prog, inputs, body=self.body, thresholds=thresholds,
             sizes=sizes, engine=engine,

@@ -51,7 +51,7 @@ from typing import Callable
 import numpy as np
 
 from repro import faults, perf
-from repro.exec import compile_cache, native
+from repro.exec import compile_cache, guard, native
 from repro.exec.vector import (
     _VBINOPS,
     _VUNOPS,
@@ -118,6 +118,22 @@ def _env_get(env, name):
         return env[name]
     except KeyError:
         raise InterpError(f"unbound variable {name!r}") from None
+
+
+def _adapt_vals(vals, got, want, n):
+    """Align a demoted rung's batchedness flags to the installed kernel's.
+
+    All engines agree structurally on which results are batched, but a
+    lower tier may legitimately report a value uniform where the emitted
+    kernel lifted it; lifting here keeps every rung's output shape
+    interchangeable.
+    """
+    if tuple(got) == tuple(want):
+        return tuple(vals)
+    return tuple(
+        _lift(v, n) if (w and not g) else v
+        for v, g, w in zip(vals, got, want)
+    )
 
 
 # -- kernel payload (de)serialisation ----------------------------------------
@@ -426,6 +442,9 @@ class CodegenEvaluator(VectorEvaluator):
         self.dtype_sig = tuple(dtype_sig or ())
         self.masked_ifs = 0
         self.masked_loops = 0
+        # sampled once per evaluation: os.environ lookups are ~1us and
+        # _guard_kernel runs per emitted kernel
+        self._guard_active = guard.active()
 
     # -- generated-source kernels ------------------------------------------
 
@@ -433,8 +452,50 @@ class CodegenEvaluator(VectorEvaluator):
         if bv and isinstance(e, _EMIT_ROOTS) and self._emittable(e):
             hit = self._emit_kernel(e, bv)
             if hit is not None:
-                return hit
+                return self._guard_kernel(e, bv, hit)
         return super()._c(e, bv)
+
+    def _guard_kernel(self, e, bv, hit):
+        """Wrap an emitted kernel in the demotion ladder (``exec/guard.py``).
+
+        Rungs, highest first: native (when a runner compiled), the
+        generated-source Python kernel, the vector engine's closure
+        lowering of the same expression, and the per-lane scalar oracle.
+        The lower rungs compile lazily — a healthy kernel never builds
+        them.  ``REPRO_GUARD=0`` returns the kernel unwrapped.
+        """
+        fn, flags = hit
+        meta = getattr(fn, "_guard", None)
+        if meta is None or not self._guard_active:
+            return hit
+        ev = self
+        arity = len(flags)
+        rungs = []
+        if meta["native"] is not None:
+            rungs.append(("native", meta["native"]))
+        rungs.append(("codegen", meta["py"]))
+        vcell: list = []
+
+        def vector_rung(env, n):
+            if not vcell:
+                vcell.append(VectorEvaluator._c(ev, e, bv))
+            vfn, vflags = vcell[0]
+            return _adapt_vals(vfn(env, n), vflags, flags, n)
+
+        rungs.append(("vector", vector_rung))
+        scell: list = []
+
+        def scalar_rung(env, n):
+            if not scell:
+                scell.append(ev._c_fallback(e, bv, arity, "guard"))
+            sfn, sflags = scell[0]
+            return _adapt_vals(sfn(env, n), sflags, flags, n)
+
+        rungs.append(("scalar", scalar_rung))
+        launch = guard.wrap_kernel(
+            meta["key"], rungs, source=meta.get("source")
+        )
+        return launch, flags
 
     def _emittable(self, e) -> bool:
         count = 0
@@ -560,12 +621,17 @@ class CodegenEvaluator(VectorEvaluator):
                 {**plan, "consts": [_const_from_json(c) for c in plan["consts"]]},
             )
         if runner is None:
+            py._guard = {
+                "key": key, "native": None, "py": py,
+                "source": payload.get("source"),
+            }
             return py, flags
         loads = [ln[2] for ln in plan["lines"] if ln[0] == "load"]
         nops = int(plan.get("nops", 0))
         ev = self
 
-        def fn(env, n):
+        def native_rung(env, n):
+            # the per-launch eligibility check; declining is not a failure
             if isinstance(n, int) and n > 0:
                 arrs = [env.get(nm) for nm in loads]
                 if all(
@@ -576,10 +642,23 @@ class CodegenEvaluator(VectorEvaluator):
                     and a.flags.c_contiguous
                     for a in arrs
                 ):
+                    out = (runner(arrs, n),)
+                    # counted only after a successful launch, so a demoted
+                    # launch cannot drift the op accounting
                     ev.vector_ops += nops
-                    return (runner(arrs, n),)
-            return py(env, n)
+                    return out
+            return guard.NOT_ELIGIBLE
 
+        def fn(env, n):
+            out = native_rung(env, n)
+            if out is guard.NOT_ELIGIBLE:
+                return py(env, n)
+            return out
+
+        fn._guard = {
+            "key": key, "native": native_rung, "py": py,
+            "source": payload.get("source"),
+        }
         return fn, flags
 
     # -- masked non-total batched if ---------------------------------------

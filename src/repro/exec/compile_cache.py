@@ -51,9 +51,15 @@ __all__ = [
     "evict_lru",
     "clear",
     "max_entries",
+    "breaker_path",
 ]
 
 DEFAULT_MAX_ENTRIES = 512
+
+#: the guard's circuit-breaker table lives beside the kernels it judges
+#: (same staleness domain: wiping the cache wipes the verdicts about it);
+#: it is not a cache entry and is exempt from LRU eviction
+BREAKER_FILE = "breakers.json"
 
 #: explicit override (set_dir) — beats the environment for this process
 _DIR_OVERRIDE: str | None = None
@@ -96,6 +102,11 @@ def max_entries() -> int:
         return max(1, int(os.environ.get("REPRO_CODEGEN_CACHE_MAX", "")))
     except ValueError:
         return DEFAULT_MAX_ENTRIES
+
+
+def breaker_path() -> str:
+    """Where :mod:`repro.exec.guard` persists circuit-breaker state."""
+    return os.path.join(shared_dir(), BREAKER_FILE)
 
 
 def entry_key(fingerprint: str) -> str:
@@ -174,7 +185,10 @@ def evict_lru(cap: int | None = None) -> int:
     cap = max_entries() if cap is None else cap
     d = cache_dir()
     try:
-        names = [nm for nm in os.listdir(d) if nm.endswith(".json")]
+        names = [
+            nm for nm in os.listdir(d)
+            if nm.endswith(".json") and nm != BREAKER_FILE
+        ]
     except OSError:
         return 0
     if len(names) <= cap:
@@ -208,7 +222,7 @@ def clear() -> None:
     except OSError:
         return
     for nm in names:
-        if nm.endswith((".json", ".c", ".so")):
+        if nm.endswith((".json", ".c", ".so")) and nm != BREAKER_FILE:
             try:
                 os.unlink(os.path.join(d, nm))
             except OSError:

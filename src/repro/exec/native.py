@@ -138,11 +138,17 @@ def _c_source(info: dict) -> str:
     )
 
 
-def _build_so(key: str, info: dict) -> str | None:
-    """Compile (or find) the shared object for ``key``; None on failure."""
+def _build_so(key: str, info: dict, *, force: bool = False) -> str | None:
+    """Compile (or find) the shared object for ``key``; None on failure.
+
+    ``force`` skips the reuse probe and recompiles unconditionally — the
+    recovery path when a cached ``.so`` vanished (or was truncated) after
+    the probe but before ``dlopen``, e.g. a concurrent process's LRU
+    eviction of the entry and its siblings.
+    """
     d = compile_cache.shared_dir()
     so = os.path.join(d, key + ".so")
-    if os.path.exists(so):
+    if not force and os.path.exists(so):
         perf.inc("exec.codegen.native_cache_hits")
         return so
     cc = toolchain()
@@ -187,7 +193,19 @@ def prepare(key: str, info: dict | None):
         lib = ctypes.CDLL(so)
         cfn = lib.repro_kernel
     except (OSError, AttributeError):
-        return None
+        # the .so was evicted (or torn) between the reuse probe and the
+        # dlopen — a concurrent process's LRU eviction removes .c/.so
+        # siblings with their entry.  Recompile instead of silently
+        # dropping to the Python tier for the rest of the process.
+        perf.inc("exec.codegen.native_rebuilds")
+        so = _build_so(key, info, force=True)
+        if so is None:
+            return None
+        try:
+            lib = ctypes.CDLL(so)
+            cfn = lib.repro_kernel
+        except (OSError, AttributeError):
+            return None
     dp = ctypes.POINTER(ctypes.c_double)
     cfn.argtypes = [ctypes.c_longlong, ctypes.POINTER(dp), dp, ctypes.c_void_p]
     cfn.restype = None

@@ -90,6 +90,11 @@ class ServiceClient:
     def ping(self) -> dict:
         return self.request({"op": "ping"})
 
+    def health(self) -> dict:
+        """Daemon health: queue latency, admission/shedding state, and the
+        execution guard's breaker states and counters."""
+        return self.request({"op": "health"})
+
     def submit(self, job: dict, tenant: str = "default",
                priority: str = "normal") -> dict:
         """Submit a job; returns the admission reply (``job`` id inside)."""

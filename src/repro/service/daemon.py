@@ -59,6 +59,7 @@ import time
 from typing import Any
 
 from repro import perf
+from repro.exec import guard
 from repro.obs import trace as obs
 from repro.service.jobs import (
     TERMINAL_STATES,
@@ -66,6 +67,7 @@ from repro.service.jobs import (
     JobSpecError,
     Spool,
     artifact_key,
+    demote_engine,
     normalize_spec,
 )
 from repro.service.queue import FairShareQueue, QueueFull
@@ -146,6 +148,7 @@ class ServiceDaemon:
         runners: int = 2,
         max_depth: int = 64,
         retry_after_s: float = 1.0,
+        shed_watermark_s: float = 5.0,
         store_dir: str | None = None,
         store_max: int | None = None,
         log=None,
@@ -157,6 +160,12 @@ class ServiceDaemon:
             store_dir or os.path.join(self.spool.root, "store"), store_max
         )
         self.queue = FairShareQueue(max_depth=max_depth, retry_after_s=retry_after_s)
+        #: sustained queue wait (EWMA) above this sheds normal-priority
+        #: submissions and demotes admitted jobs' engine one tier;
+        #: recovery at half the watermark (hysteresis, no flapping)
+        self.shed_watermark_s = float(shed_watermark_s)
+        self._shed_active = False
+        self._shed_lock = threading.Lock()
         self.socket_path = socket_path
         self.host = host
         self.port = port  # rebound to the real port after bind when 0
@@ -263,6 +272,10 @@ class ServiceDaemon:
         self.queue.close()  # refuse new work; admitted jobs stay takeable
         for t in self._runners:
             t.join()
+        # breaker transitions persist eagerly, but a half-open probe that
+        # *closed* a breaker during the drain only updated memory — flush
+        # after the runners stop so no probe outcome dies with the daemon
+        guard.flush()
         self._stop.set()
         for srv in self._listeners:
             try:
@@ -332,6 +345,8 @@ class ServiceDaemon:
         op = req.get("op")
         if op == "ping":
             self._send(wr, self._ping_doc())
+        elif op == "health":
+            self._send(wr, self._health_doc())
         elif op == "submit":
             self._op_submit(req, wr)
         elif op == "jobs":
@@ -381,6 +396,51 @@ class ServiceDaemon:
             "counters": counters,
         }
 
+    def _health_doc(self) -> dict:
+        """The ``health`` wire op: everything an operator (or the chaos CI
+        leg) needs to judge this daemon — queue depths and latency,
+        admission/shedding state, per-tenant stats, and the execution
+        guard's breaker states and demotion/verify counters
+        (``docs/guarded-execution.md``)."""
+        doc = self._ping_doc()
+        doc.pop("pong", None)
+        doc["queue"]["wait_ewma_s"] = round(self.queue.wait_ewma(), 6)
+        doc["admission"] = {
+            "max_depth": self.queue.max_depth,
+            "watermark_s": self.shed_watermark_s,
+            "shedding": self._shedding(),
+        }
+        doc["guard"] = guard.snapshot()
+        doc["counters"] = {
+            k: v for k, v in perf.counters().items()
+            if k.startswith(("service.", "exec.guard.", "online.dispatch."))
+        }
+        return doc
+
+    def _shedding(self) -> bool:
+        """Overload state with hysteresis: trips at the watermark, recovers
+        at half of it.  Evaluated on every submission and health probe."""
+        wait = self.queue.wait_ewma()
+        with self._shed_lock:
+            if self._shed_active:
+                if wait < 0.5 * self.shed_watermark_s:
+                    self._shed_active = False
+                    perf.inc("service.shed.recovered")
+                    self._log(
+                        f"overload recovered (queue wait {wait:.3f}s); "
+                        f"admitting normal priority again"
+                    )
+            elif self.shed_watermark_s > 0 and wait >= self.shed_watermark_s:
+                self._shed_active = True
+                perf.inc("service.shed.activated")
+                obs.instant("service.shed", cat="service", wait_s=round(wait, 3))
+                self._log(
+                    f"overloaded (queue wait {wait:.3f}s >= "
+                    f"{self.shed_watermark_s:g}s): shedding normal priority, "
+                    f"demoting admitted jobs' engine"
+                )
+            return self._shed_active
+
     def _job_or_error(self, req: dict, wr) -> Job | None:
         job_id = str(req.get("job", ""))
         with self._jobs_lock:
@@ -397,6 +457,27 @@ class ServiceDaemon:
         priority = str(req.get("priority") or "normal")
         try:
             spec = normalize_spec(req.get("job"))
+        except JobSpecError as exc:
+            perf.inc("service.jobs.rejected")
+            self._send(wr, {"ok": False, "code": 400, "error": str(exc)})
+            return
+        engine_demoted = False
+        if self._shedding():
+            # overloaded: shed normal priority deterministically (the 503
+            # mirror of the 429 queue-full path), demote what is admitted
+            if priority != "high":
+                perf.inc("service.jobs.shed")
+                self._send(wr, {"ok": False, "code": 503, "error": "overloaded",
+                                "wait_ewma_s": round(self.queue.wait_ewma(), 6),
+                                "retry_after_s": self.queue.retry_after_s})
+                return
+            if spec.get("engine") is not None:
+                demoted_to = demote_engine(spec["engine"])
+                if demoted_to != spec["engine"]:
+                    engine_demoted = True
+                    spec = {**spec, "engine": demoted_to}
+                    perf.inc("service.jobs.engine_demoted")
+        try:
             with self._id_lock:
                 self._next_id += 1
                 job = Job(f"j{self._next_id}", tenant, priority, spec)
@@ -404,6 +485,7 @@ class ServiceDaemon:
             perf.inc("service.jobs.rejected")
             self._send(wr, {"ok": False, "code": 400, "error": str(exc)})
             return
+        job.engine_demoted = engine_demoted
         # record first, then admit: a job visible in the queue always has
         # a spool record for crash recovery to find
         with self._jobs_lock:
@@ -430,10 +512,17 @@ class ServiceDaemon:
                             "error": "daemon is shutting down"})
             return
         perf.inc("service.jobs.submitted")
-        job.emit("queued", tenant=tenant, priority=priority, depth=depth)
+        if engine_demoted:
+            job.emit("queued", tenant=tenant, priority=priority, depth=depth,
+                     engine_demoted=True, engine=spec["engine"])
+        else:
+            job.emit("queued", tenant=tenant, priority=priority, depth=depth)
         self.spool.save(job)
-        self._send(wr, {"ok": True, "job": job.id, "state": "queued",
-                        "depth": depth})
+        reply = {"ok": True, "job": job.id, "state": "queued", "depth": depth}
+        if engine_demoted:
+            reply["engine_demoted"] = True
+            reply["engine"] = spec["engine"]
+        self._send(wr, reply)
         if req.get("stream"):
             self._stream_events(job, wr)
 
@@ -715,12 +804,16 @@ class ServiceDaemon:
         _check_sizes(prog, spec["sizes"], "'sizes'")
         device = _device(spec["device"])
         tuner = self._online_tuner(cp, device)
-        decision = tuner.dispatch(spec["sizes"])
+        # a launch under a degraded stack (tripped breaker, or admitted
+        # with an overload-demoted engine) must not feed the bandit
+        degraded = bool(job.engine_demoted) or guard.demotion_active()
+        decision = tuner.dispatch(spec["sizes"], demoted=degraded)
         job.emit(
             "dispatch", shape=decision.shape, explored=decision.explored,
             converged=decision.converged, thresholds=decision.thresholds,
             cost=_json_cost(decision.cost) if decision.cost is not None else None,
             observations=tuner.total_observations(),
+            demoted=decision.demoted,
         )
         inputs = _random_inputs(prog, spec["sizes"], spec["seed"])
         outs = cp.run(inputs, thresholds=decision.thresholds or None,
@@ -736,6 +829,7 @@ class ServiceDaemon:
             "shape": decision.shape,
             "explored": decision.explored,
             "converged": decision.converged,
+            "demoted": decision.demoted,
             "thresholds": dict(decision.thresholds),
             "observations": tuner.total_observations(),
             "outputs": _output_digests(outs),

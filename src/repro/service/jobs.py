@@ -45,6 +45,7 @@ __all__ = [
     "TERMINAL_STATES",
     "normalize_spec",
     "fingerprint",
+    "demote_engine",
     "Job",
     "Spool",
 ]
@@ -151,6 +152,16 @@ def normalize_spec(doc: Any) -> dict:
     return spec
 
 
+def demote_engine(engine: str) -> str:
+    """One engine tier down (the overloaded daemon's degraded default).
+
+    All engines are bit-identical, so demotion changes job latency and
+    resource profile only — never results.  ``scalar`` is the floor.
+    """
+    idx = _ENGINES.index(engine) if engine in _ENGINES else 0
+    return _ENGINES[max(0, idx - 1)]
+
+
 def fingerprint(spec: dict, tree_hash: str) -> str:
     """The job's content fingerprint (the artifact-store key preimage).
 
@@ -190,6 +201,10 @@ class Job:
         #: (online jobs: each submission is an observation, never a cache hit)
         self.result: dict | None = None
         self.cancel_requested = False
+        #: admitted while the daemon was shedding: engine already demoted
+        #: one tier in the spec; online observations taken under this flag
+        #: are excluded from convergence (docs/guarded-execution.md)
+        self.engine_demoted = False
         self.events: list[dict] = []
         self._cond = threading.Condition()
 

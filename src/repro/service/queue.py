@@ -26,6 +26,7 @@ which is how runner threads learn to exit.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any
 
@@ -62,6 +63,10 @@ class FairShareQueue:
         self._cond = threading.Condition()
         #: jobs served per tenant (fairness telemetry)
         self.served: dict[str, int] = {}
+        #: EWMA of queue wait (seconds between put and take) — the
+        #: daemon's overload signal; smoothed so one slow job does not
+        #: flap the shedding state
+        self._wait_ewma = 0.0
 
     # -- admission -----------------------------------------------------------
 
@@ -84,7 +89,7 @@ class FairShareQueue:
             if lanes is None:
                 lanes = self._lanes[tenant] = {p: deque() for p in PRIORITIES}
                 self._order.append(tenant)
-            lanes[priority].append(item)
+            lanes[priority].append((time.monotonic(), item))
             self._depth += 1
             self._cond.notify()
             return self._depth
@@ -115,7 +120,9 @@ class FairShareQueue:
             lanes = self._lanes[self._order[idx]]
             for priority in PRIORITIES:
                 if lanes[priority]:
-                    item = lanes[priority].popleft()
+                    ts, item = lanes[priority].popleft()
+                    wait = max(0.0, time.monotonic() - ts)
+                    self._wait_ewma = 0.7 * self._wait_ewma + 0.3 * wait
                     tenant = self._order[idx]
                     self.served[tenant] = self.served.get(tenant, 0) + 1
                     self._depth -= 1
@@ -131,16 +138,21 @@ class FairShareQueue:
         with self._cond:
             for lanes in self._lanes.values():
                 for lane in lanes.values():
-                    for item in lane:
-                        if match(item):
-                            lane.remove(item)
+                    for entry in lane:
+                        if match(entry[1]):
+                            lane.remove(entry)
                             self._depth -= 1
-                            return item
+                            return entry[1]
         return None
 
     def depth(self) -> int:
         with self._cond:
             return self._depth
+
+    def wait_ewma(self) -> float:
+        """Smoothed queue wait in seconds (the overload-shedding signal)."""
+        with self._cond:
+            return self._wait_ewma
 
     def per_tenant(self) -> dict[str, dict[str, int]]:
         """Pending counts per tenant and lane (for ``repro jobs``/ping)."""

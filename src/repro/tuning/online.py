@@ -75,6 +75,9 @@ class OnlineDecision:
     converged: bool  # the class has a frozen winner (after this dispatch)
     cost: float | None  # incurred simulated cost while exploring, else None
     censored: bool = False  # arm aborted at the early-termination cap
+    #: dispatched while the engine stack was degraded (tripped breaker /
+    #: overload demotion): nothing was observed, nothing converged
+    demoted: bool = False
 
 
 class _PathArm:
@@ -234,23 +237,50 @@ class OnlineTuner:
 
     # -- dispatch -------------------------------------------------------------
 
-    def dispatch(self, sizes: Mapping[str, int]) -> OnlineDecision:
-        """Choose thresholds for one incoming dataset (and learn from it)."""
-        with self._lock:
-            return self._dispatch(dict(sizes))
+    def dispatch(
+        self, sizes: Mapping[str, int], demoted: bool = False
+    ) -> OnlineDecision:
+        """Choose thresholds for one incoming dataset (and learn from it).
 
-    def _dispatch(self, sizes: dict[str, int]) -> OnlineDecision:
+        ``demoted`` marks a launch taken while the engine stack is
+        degraded — a tripped execution-guard breaker or an overloaded
+        daemon running the job one engine tier down.  Such a launch does
+        not represent the healthy configuration, so it must not poison
+        the bandit: the dispatch serves the best thresholds known so far
+        but records no observation and advances no convergence.
+        """
+        with self._lock:
+            return self._dispatch(dict(sizes), bool(demoted))
+
+    def _dispatch(self, sizes: dict[str, int], demoted: bool = False) -> OnlineDecision:
         perf.inc("online.dispatch")
         key = shape_key(self.compiled.shape_class(sizes))
         state = self._classes.get(key)
         if state is not None and state.converged is not None:
             # steady state: memoized fingerprint -> table lookup; no
-            # bandit, no simulation, no persistence traffic
+            # bandit, no simulation, no persistence traffic.  A converged
+            # class has nothing left to poison, so demotion only flags
+            # the decision.
             perf.inc("online.dispatch.exploit")
             arm = state.converged
             decision = OnlineDecision(
                 thresholds=dict(self.arms[arm]), shape=key, arm=arm,
-                explored=False, converged=True, cost=None,
+                explored=False, converged=True, cost=None, demoted=demoted,
+            )
+            self.last_decision = decision
+            return decision
+        if demoted:
+            # degraded stack: serve, don't learn.  The best-by-mean arm
+            # (or the untuned defaults while nothing has been played)
+            # keeps service quality; the excluded observation keeps the
+            # learned state clean.
+            perf.inc("online.dispatch.demoted")
+            best: dict[str, int] = {}
+            if state is not None and any(state.plays):
+                best = dict(self.arms[state.best_arm()])
+            decision = OnlineDecision(
+                thresholds=best, shape=key, arm=-1, explored=False,
+                converged=False, cost=None, demoted=True,
             )
             self.last_decision = decision
             return decision

@@ -432,3 +432,81 @@ class TestCheck:
         )
         assert code == 0
         assert not list(corpus.glob("*.json")) if corpus.exists() else True
+
+
+class TestCheckChaosExitCodes:
+    """--chaos exit-code convention: divergence exits 1 (a *finding*),
+    a crash in the harness itself exits 2 via ``repro: error:``."""
+
+    def test_divergence_exits_1(self, capsys, monkeypatch):
+        from repro.check import chaos as chaos_mod
+
+        def fake(names, seed):
+            rep = chaos_mod.ChaosReport(program="matmul", seed=seed)
+            rep.add("serial", False, "thresholds diverged: baseline X vs Y")
+            return [rep]
+
+        monkeypatch.setattr(chaos_mod, "chaos_tune_check", fake)
+        code = main(["check", "matmul", "--chaos", "--max-paths", "4",
+                     "--exec", "scalar", "--fusion", "ilp"])
+        cap = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in cap.out and "thresholds diverged" in cap.out
+        assert "repro: error:" not in cap.err
+
+    def test_harness_error_exits_2(self, capsys, monkeypatch):
+        from repro.check import chaos as chaos_mod
+
+        def boom(names, seed):
+            raise RuntimeError("spool directory vanished")
+
+        monkeypatch.setattr(chaos_mod, "chaos_tune_check", boom)
+        code = main(["check", "matmul", "--chaos", "--max-paths", "4",
+                     "--exec", "scalar", "--fusion", "ilp"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("repro: error:")
+        assert "chaos harness error" in err and "spool directory" in err
+
+    def test_unknown_program_is_usage_error(self, capsys, monkeypatch):
+        from repro.check import chaos as chaos_mod
+
+        def unknown(names, seed):
+            raise KeyError("unknown benchmark program 'nope'")
+
+        monkeypatch.setattr(chaos_mod, "chaos_tune_check", unknown)
+        code = main(["check", "matmul", "--chaos", "--max-paths", "4",
+                     "--exec", "scalar", "--fusion", "ilp"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("repro: error:") and "nope" in err
+
+
+class TestVerifyRate:
+    def test_run_verify_rate_flag_pins_rate(self, capsys):
+        from repro.exec import guard
+
+        try:
+            code, _ = run(capsys, "run", "matmul", "--size", "n=3,m=4",
+                          "--exec", "codegen", "--verify-rate", "0.5")
+            assert code == 0
+            assert guard.verify_rate() == 0.5
+        finally:
+            guard.set_verify_rate(None)
+
+    def test_verified_run_stays_correct(self, capsys):
+        from repro.exec import guard
+
+        try:
+            code, out1 = run(capsys, "run", "Heston", "--size",
+                             "numQuotes=16,numCand=4,numInt=8",
+                             "--exec", "codegen", "--verify-rate", "1.0")
+            assert code == 0
+            guard.set_verify_rate(None)
+            code, out2 = run(capsys, "run", "Heston", "--size",
+                             "numQuotes=16,numCand=4,numInt=8",
+                             "--exec", "scalar")
+            assert code == 0
+            assert out1 == out2  # sampled oracle re-runs change nothing
+        finally:
+            guard.set_verify_rate(None)

@@ -1,0 +1,66 @@
+"""Demoted observations and the online tuner.
+
+While the execution guard has a kernel quarantined (or the service
+admitted a job with its engine demoted), measured costs do not reflect
+the healthy engine configuration — the tuner must keep serving
+thresholds but record *nothing* and never converge on degraded data.
+"""
+
+import pytest
+
+from repro import perf
+from repro.bench.programs.nw import nw_program
+from repro.bench.datasets import table1_sizes
+from repro.compiler import compile_program
+from repro.gpu import K40
+from repro.tuning import OnlineTuner
+
+SIZES = table1_sizes("NW", "D1")
+
+
+@pytest.fixture(scope="module")
+def nw_if():
+    return compile_program(nw_program(), "incremental")
+
+
+class TestDemotedDispatch:
+    def test_demoted_dispatch_records_no_observation(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        tuner.dispatch(SIZES)  # one healthy observation seeds the class
+        seen = tuner.total_observations()
+        before = perf.counters().get("online.dispatch.demoted", 0)
+        d = tuner.dispatch(SIZES, demoted=True)
+        assert d.demoted and not d.explored and d.arm == -1
+        assert d.cost is None
+        assert tuner.total_observations() == seen
+        assert perf.counters()["online.dispatch.demoted"] == before + 1
+
+    def test_demoted_dispatches_never_converge(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        for _ in range(300):
+            d = tuner.dispatch(SIZES, demoted=True)
+            assert not d.converged
+        assert tuner.total_observations() == 0
+
+    def test_demoted_serves_best_known_thresholds(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        while not tuner.dispatch(SIZES).converged:
+            pass
+        healthy = tuner.dispatch(SIZES)
+        degraded = tuner.dispatch(SIZES, demoted=True)
+        assert degraded.thresholds == healthy.thresholds
+
+    def test_converged_class_echoes_demoted_flag(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        while not tuner.dispatch(SIZES).converged:
+            pass
+        d = tuner.dispatch(SIZES, demoted=True)
+        # converged classes exploit as usual (zero-work), flag echoed so
+        # the service's dispatch event can report the degradation
+        assert d.converged and d.demoted
+
+    def test_demoted_on_cold_class_serves_defaults(self, nw_if):
+        tuner = OnlineTuner(nw_if, K40)
+        d = tuner.dispatch(SIZES, demoted=True)
+        assert d.demoted and d.thresholds == {}
+        assert tuner.total_observations() == 0
